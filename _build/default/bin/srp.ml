@@ -1,0 +1,168 @@
+(* srp — the command-line driver.
+
+   Subcommands:
+     compile   parse + promote a MiniC file and dump IR or assembly
+     run       compile and execute on the machine simulator
+     profile   interpret a MiniC file and dump its alias profile
+     ssa       print the speculative memory-SSA form (chi/mu, figure 5/6 style)
+     bench     run a named workload at two levels and compare counters
+     list      list the built-in SPEC-like workloads *)
+
+open Cmdliner
+module Pipeline = Srp_driver.Pipeline
+module Workload = Srp_driver.Workload
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let level_conv =
+  let parse s =
+    match s with
+    | "O0" -> Ok Pipeline.O0
+    | "conservative" -> Ok Pipeline.Conservative
+    | "baseline" -> Ok Pipeline.Baseline
+    | "alat" -> Ok Pipeline.Alat
+    | "alat-heuristic" -> Ok Pipeline.Alat_heuristic
+    | _ -> Error (`Msg (Fmt.str "unknown level %s" s))
+  in
+  Arg.conv (parse, fun ppf l -> Fmt.string ppf (Pipeline.level_name l))
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source file")
+
+let level_arg =
+  Arg.(value & opt level_conv Pipeline.Alat
+       & info [ "l"; "level" ] ~docv:"LEVEL"
+           ~doc:"optimization level: O0, conservative, baseline, alat, alat-heuristic")
+
+let asm_arg =
+  Arg.(value & flag & info [ "S"; "asm" ] ~doc:"dump target assembly instead of IR")
+
+(* Build a trivial single-input workload out of a source file so the
+   pipeline's profile-then-compile flow applies unchanged. *)
+let workload_of_file path =
+  { Workload.name = Filename.basename path; description = "user program";
+    source = read_file path; train = []; ref_ = [] }
+
+let compile_cmd =
+  let run file level asm =
+    let w = workload_of_file file in
+    let profile =
+      match level with Pipeline.Alat -> Some (Pipeline.train_profile w) | _ -> None
+    in
+    let c = Pipeline.compile ?profile ~input:[] w level in
+    if asm then
+      List.iter
+        (fun name ->
+          let f = Hashtbl.find c.Pipeline.target.Srp_target.Insn.funcs name in
+          Fmt.pr "%a@." Srp_target.Insn.pp_func f)
+        c.Pipeline.target.Srp_target.Insn.func_order
+    else Fmt.pr "%a@." Srp_ir.Program.pp c.Pipeline.ir;
+    (match c.Pipeline.promote with
+    | Some r ->
+      let s = r.Srp_core.Promote.stats in
+      Fmt.epr
+        "promotion: %d exprs, %d direct + %d indirect loads eliminated, %d checks, %d invala.e@."
+        s.Srp_core.Ssapre.exprs_promoted s.loads_eliminated_direct
+        s.loads_eliminated_indirect s.checks_inserted s.invala_inserted
+    | None -> ())
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"compile a MiniC file and dump IR/assembly")
+    Term.(const run $ file_arg $ level_arg $ asm_arg)
+
+let run_cmd =
+  let run file level =
+    let w = workload_of_file file in
+    let r = Pipeline.profile_compile_run w level in
+    print_string r.Pipeline.output;
+    Fmt.epr "%a@." Srp_machine.Counters.pp r.Pipeline.counters;
+    exit (Int64.to_int r.Pipeline.exit_code)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"compile and execute on the machine simulator")
+    Term.(const run $ file_arg $ level_arg)
+
+let profile_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"save the profile to FILE")
+  in
+  let run file out_file =
+    let prog = Srp_frontend.Lower.compile_source (read_file file) in
+    let code, out, profile = Srp_profile.Interp.run_program prog in
+    print_string out;
+    match out_file with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Srp_profile.Alias_profile.save profile);
+      close_out oc;
+      Fmt.epr "profile written to %s@." path
+    | None ->
+      Fmt.pr "exit code: %Ld@.--- alias profile ---@.%a" code
+        Srp_profile.Alias_profile.pp profile
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"interpret, print or save the alias profile (-o FILE)")
+    Term.(const run $ file_arg $ out_arg)
+
+let ssa_cmd =
+  let run file =
+    let src = read_file file in
+    let prog = Srp_frontend.Lower.compile_source src in
+    (* profile for the speculative flags *)
+    let prog_p = Srp_frontend.Lower.compile_source src in
+    let _, _, profile = Srp_profile.Interp.run_program prog_p in
+    let mgr = Srp_alias.Manager.build prog in
+    let modref = Srp_alias.Modref.compute mgr prog in
+    let policy =
+      Srp_ssa.Spec_policy.create prog (Srp_ssa.Spec_policy.Profile profile)
+    in
+    List.iter
+      (fun f ->
+        let annot = Srp_ssa.Annot.compute ~mgr ~modref ~policy f in
+        let ssa = Srp_ssa.Ssa_form.build ~annot f in
+        Fmt.pr "%a@." Srp_ssa.Ssa_form.pp ssa)
+      (Srp_ir.Program.funcs prog)
+  in
+  Cmd.v
+    (Cmd.info "ssa" ~doc:"print the speculative memory-SSA form (chi_s/mu_s)")
+    Term.(const run $ file_arg)
+
+let bench_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let run name =
+    let w = Srp_workloads.Registry.find name in
+    let r = Srp_driver.Experiments.run_pair w in
+    let f8 =
+      Srp_driver.Report.figure8_row ~name ~base:r.Srp_driver.Experiments.base.Pipeline.counters
+        ~spec:r.Srp_driver.Experiments.spec.Pipeline.counters
+    in
+    Fmt.pr "%s: cycles -%.2f%%, data access -%.2f%%, loads -%.2f%%@." name
+      f8.Srp_driver.Report.cpu_cycles_red f8.data_access_red f8.loads_red;
+    Fmt.pr "--- baseline counters ---@.%a@." Srp_machine.Counters.pp
+      r.Srp_driver.Experiments.base.Pipeline.counters;
+    Fmt.pr "--- speculative counters ---@.%a@." Srp_machine.Counters.pp
+      r.Srp_driver.Experiments.spec.Pipeline.counters
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"run one built-in workload at baseline and alat")
+    Term.(const run $ name_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun w ->
+        Fmt.pr "%-8s %s@." w.Workload.name w.Workload.description)
+      (Srp_workloads.Registry.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"list built-in workloads") Term.(const run $ const ())
+
+let () =
+  let doc = "speculative register promotion using ALAT (CGO 2003 reproduction)" in
+  let info = Cmd.info "srp" ~doc in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; profile_cmd; ssa_cmd; bench_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/alias_speculation.ml: Fmt Srp_alias Srp_core Srp_frontend Srp_ir Srp_profile Srp_ssa

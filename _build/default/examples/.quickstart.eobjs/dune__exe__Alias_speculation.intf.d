@@ -1,0 +1,1 @@
+examples/alias_speculation.mli:

@@ -1,0 +1,1 @@
+examples/figure_shapes.ml: Fmt Hashtbl Srp_core Srp_frontend Srp_profile Srp_target

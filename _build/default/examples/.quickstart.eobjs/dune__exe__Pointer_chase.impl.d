@@ -1,0 +1,1 @@
+examples/pointer_chase.ml: Fmt List Pipeline Report Srp_driver Srp_machine Srp_support Srp_workloads Workload

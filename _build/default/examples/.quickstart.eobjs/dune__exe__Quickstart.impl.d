@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Srp_core Srp_frontend Srp_machine Srp_profile Srp_target

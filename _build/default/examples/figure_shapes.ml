@@ -1,0 +1,86 @@
+(* Figure shapes: the basic transformations of the paper's section 2,
+   recreated on tiny MiniC programs and shown as generated assembly.
+
+   - read-after-read across an aliased store   -> ld.a ... ld.c   (Fig 1a)
+   - read-after-write across an aliased store  -> st; ld.a ... ld.c (Fig 1b)
+   - several redundant reads                   -> ld.c.nc chain   (Fig 1c)
+   - loop-invariant under an aliased store     -> ld.sa before the loop,
+                                                  check inside     (Fig 3)
+
+   Run with: dune exec examples/figure_shapes.exe *)
+
+let compile_and_show ~title ~focus source =
+  Fmt.pr "@.=== %s ===@." title;
+  (* train profile: the aliasing path is never taken *)
+  let pprog = Srp_frontend.Lower.compile_source source in
+  let _, _, profile = Srp_profile.Interp.run_program pprog in
+  let ir = Srp_frontend.Lower.compile_source source in
+  ignore (Srp_core.Promote.run ~config:(Srp_core.Config.alat ~profile) ir);
+  let tgt = Srp_target.Codegen.gen_program ir in
+  let f = Hashtbl.find tgt.Srp_target.Insn.funcs focus in
+  Fmt.pr "%a@." Srp_target.Insn.pp_func f
+
+let fig1a = {|
+int a; int b;
+int* q;
+int flip;
+int main() {
+  int r = 0;
+  if (flip == 77) { q = &a; } else { q = &b; }
+  a = 5;
+  r = r + a + 1;   // becomes ld.a (arms the ALAT)
+  *q = 123;        // possibly-aliased store
+  r = r + a + 3;   // becomes ld.c (free when no collision)
+  print_int(r);
+  return 0;
+}
+|}
+
+let fig1c = {|
+int a; int b;
+int* q;
+int flip;
+int main() {
+  int r = 0;
+  if (flip == 77) { q = &a; } else { q = &b; }
+  a = 9;
+  r = r + a + 1;   // ld.a
+  *q = 1;
+  r = r + a + 3;   // ld.c.nc: keeps the entry alive
+  *q = 2;
+  r = r - a - 5;   // ld.c.nc again
+  print_int(r);
+  return 0;
+}
+|}
+
+let fig3 = {|
+int p; int b;
+int* q;
+int flip;
+int n;
+void init() { p = 11; n = 500; if (flip == 77) { q = &p; } else { q = &b; } }
+int main() {
+  int i;
+  int r = 0;
+  init();            // p's value is set elsewhere: no dominating store here
+  for (i = 0; i < n; i = i + 1) {
+    *q = i;          // possible alias write in the loop that may modify p
+    r = r + p + 1;   // hoisted above the loop as ld.sa; checked inside
+  }
+  print_int(r);
+  return 0;
+}
+|}
+
+let () =
+  compile_and_show ~title:"Figure 1(a/b): read after read/write across an aliased store"
+    ~focus:"main" fig1a;
+  compile_and_show ~title:"Figure 1(c): multiple redundant loads -> ld.c.nc chain"
+    ~focus:"main" fig1c;
+  compile_and_show ~title:"Figure 3: speculative loop invariant -> ld.sa + in-loop check"
+    ~focus:"main" fig3;
+  Fmt.pr
+    "@.Look for: ld8.a (advanced load, arms the ALAT), ld8.c.nc (check load,\n\
+     a no-op on a hit), ld8.sa (control+data speculative hoisted load), and\n\
+     invala.e (entry invalidation on paths that bypass the load).@."

@@ -1,0 +1,49 @@
+(* Pointer chasing end to end: the built-in mcf-like workload through the
+   whole experiment pipeline, with per-build hardware counters — a single-
+   benchmark slice of the paper's Figure 8.
+
+   Run with: dune exec examples/pointer_chase.exe *)
+
+open Srp_driver
+
+let () =
+  let w = Srp_workloads.Registry.find "mcf" in
+  Fmt.pr "workload: %s — %s@.@." w.Workload.name w.Workload.description;
+  let levels =
+    [ Pipeline.O0; Pipeline.Conservative; Pipeline.Baseline; Pipeline.Alat ]
+  in
+  let results =
+    List.map (fun l -> (l, Pipeline.profile_compile_run w l)) levels
+  in
+  (* all levels must agree on the program output *)
+  (match results with
+  | (_, first) :: rest ->
+    List.iter
+      (fun (l, r) ->
+        if r.Pipeline.output <> first.Pipeline.output then
+          Fmt.failwith "output mismatch at %s" (Pipeline.level_name l))
+      rest
+  | [] -> ());
+  Fmt.pr "%s@."
+    (Srp_support.Pp_util.render_table
+       ~header:[ "level"; "cycles"; "loads"; "checks"; "fails"; "data-access cy" ]
+       ~rows:
+         (List.map
+            (fun (l, r) ->
+              let c = r.Pipeline.counters in
+              [ Pipeline.level_name l;
+                string_of_int c.Srp_machine.Counters.cycles;
+                string_of_int c.Srp_machine.Counters.loads_retired;
+                string_of_int c.Srp_machine.Counters.checks_retired;
+                string_of_int c.Srp_machine.Counters.check_failures;
+                string_of_int c.Srp_machine.Counters.data_access_cycles ])
+            results));
+  let base = List.assoc Pipeline.Baseline results in
+  let spec = List.assoc Pipeline.Alat results in
+  let f8 =
+    Report.figure8_row ~name:"mcf" ~base:base.Pipeline.counters
+      ~spec:spec.Pipeline.counters
+  in
+  Fmt.pr
+    "@.speculative vs baseline: cycles -%.2f%%, data access -%.2f%%, loads -%.2f%%@."
+    f8.Report.cpu_cycles_red f8.Report.data_access_red f8.Report.loads_red

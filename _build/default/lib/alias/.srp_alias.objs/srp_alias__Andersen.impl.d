@@ -1,0 +1,1 @@
+lib/alias/andersen.ml: Block Func Hashtbl Instr Int List Location Node_env Ops Program Queue Set Srp_ir

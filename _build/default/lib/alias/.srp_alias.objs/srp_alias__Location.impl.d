@@ -1,0 +1,1 @@
+lib/alias/location.ml: Fmt Map Set Site Srp_ir Symbol

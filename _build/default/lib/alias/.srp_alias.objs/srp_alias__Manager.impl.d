@@ -1,0 +1,1 @@
+lib/alias/manager.ml: Andersen Location Program Srp_ir Steensgaard Type_filter

@@ -1,0 +1,1 @@
+lib/alias/manager.mli: Location Mem_ty Program Srp_ir Temp

@@ -1,0 +1,1 @@
+lib/alias/modref.ml: Func Hashtbl Instr List Location Manager Ops Program Srp_ir Symbol

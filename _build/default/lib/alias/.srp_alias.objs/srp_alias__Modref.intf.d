@@ -1,0 +1,1 @@
+lib/alias/modref.mli: Location Manager Program Srp_ir

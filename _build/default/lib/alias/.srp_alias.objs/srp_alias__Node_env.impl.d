@@ -1,0 +1,1 @@
+lib/alias/node_env.ml: Hashtbl List Location Site Srp_ir Symbol Temp

@@ -1,0 +1,1 @@
+lib/alias/steensgaard.ml: Block Func Hashtbl Instr List Location Node_env Ops Program Srp_ir Srp_support

@@ -1,0 +1,1 @@
+lib/alias/type_filter.ml: Location Mem_ty Srp_ir

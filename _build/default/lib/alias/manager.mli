@@ -1,0 +1,31 @@
+(** Facade over the points-to analyses: the one object the SSA builder and
+    the promotion pass query, mirroring the "sequence of pointer analyses"
+    the ORC -O3 baseline composes (paper section 4): equivalence-class
+    (Steensgaard), inclusion-based (Andersen) and the unsafe type-based
+    refinement. *)
+
+open Srp_ir
+
+type flavour =
+  | Steensgaard_only
+  | Andersen_refined  (** intersect both analyses (both sound) *)
+
+type t
+
+(** Run the configured analyses over a whole program.  Defaults:
+    [Andersen_refined] with the type filter on. *)
+val build : ?flavour:flavour -> ?type_filter:bool -> Program.t -> t
+
+(** Raw points-to set of the pointer value held in a temp of [func]. *)
+val points_to_raw : t -> func:string -> Temp.t -> Location.Set.t
+
+(** Locations an indirect access through the temp with cell type [mty] may
+    touch (type filter applied if configured). *)
+val points_to : t -> func:string -> mty:Mem_ty.t -> Temp.t -> Location.Set.t
+
+(** Stable equivalence-class key, used for virtual-variable naming. *)
+val class_of_temp : t -> func:string -> Temp.t -> int
+
+(** May two indirect accesses alias? *)
+val may_alias :
+  t -> func:string -> mty1:Mem_ty.t -> Temp.t -> mty2:Mem_ty.t -> Temp.t -> bool

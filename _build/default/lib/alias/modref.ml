@@ -1,0 +1,81 @@
+(* Interprocedural mod/ref summaries: for every function, the set of
+   locations it (transitively) may store to and may load from.  Used to
+   place chi/mu around call sites.  Only locations visible across a call
+   boundary matter: globals, heap objects, and address-taken locals (a
+   callee's private local cannot be named by the caller). *)
+
+open Srp_ir
+
+type summary = { mod_set : Location.Set.t; ref_set : Location.Set.t }
+
+type t = (string, summary) Hashtbl.t
+
+let empty_summary = { mod_set = Location.Set.empty; ref_set = Location.Set.empty }
+
+let visible loc =
+  match loc with
+  | Location.Heap _ -> true
+  | Location.Sym s -> Symbol.is_global s || Symbol.addr_taken s
+
+let restrict s =
+  { mod_set = Location.Set.filter visible s.mod_set;
+    ref_set = Location.Set.filter visible s.ref_set }
+
+let find (t : t) name =
+  match Hashtbl.find_opt t name with Some s -> s | None -> empty_summary
+
+(* One local pass over [f]: direct effects plus current callee summaries. *)
+let local_summary (mgr : Manager.t) (t : t) (f : Func.t) : summary =
+  let fname = Func.name f in
+  let mod_set = ref Location.Set.empty in
+  let ref_set = ref Location.Set.empty in
+  let touch_addr set (addr : Ops.addr) mty =
+    match addr.Ops.base with
+    | Ops.Sym s -> set := Location.Set.add (Location.Sym s) !set
+    | Ops.Reg r ->
+      set := Location.Set.union (Manager.points_to mgr ~func:fname ~mty r) !set
+  in
+  Func.iter_instrs
+    (fun _ ins ->
+      match ins with
+      | Instr.Load { addr; mty; _ }
+      | Instr.Check { addr; mty; _ }
+      | Instr.Sw_check { addr; mty; _ } ->
+        touch_addr ref_set addr mty
+      | Instr.Store { addr; mty; _ } -> touch_addr mod_set addr mty
+      | Instr.Call { callee; _ } ->
+        if not (Program.is_builtin callee) then begin
+          let s = find t callee in
+          mod_set := Location.Set.union s.mod_set !mod_set;
+          ref_set := Location.Set.union s.ref_set !ref_set
+        end
+      | Instr.Bin _ | Instr.Un _ | Instr.Mov _ | Instr.Alloc _ | Instr.Invala _
+        ->
+        ())
+    f;
+  restrict { mod_set = !mod_set; ref_set = !ref_set }
+
+(* Fixpoint over the call graph (handles recursion). *)
+let compute (mgr : Manager.t) (prog : Program.t) : t =
+  let t : t = Hashtbl.create 16 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun f ->
+        let fname = Func.name f in
+        let old = find t fname in
+        let s = local_summary mgr t f in
+        if not
+             (Location.Set.equal old.mod_set s.mod_set
+             && Location.Set.equal old.ref_set s.ref_set)
+        then begin
+          Hashtbl.replace t fname s;
+          changed := true
+        end)
+      (Program.funcs prog)
+  done;
+  t
+
+let mod_of t name = (find t name).mod_set
+let ref_of t name = (find t name).ref_set

@@ -1,0 +1,15 @@
+(* The "unsafe type-based pointer analysis" of the ORC -O3 baseline (paper
+   section 4): an indirect access of cell type T is assumed not to alias
+   symbols whose cells have a different type.  Unsafe in full C (casts can
+   reinterpret memory); in MiniC the only laundering path is malloc'd
+   memory, so heap locations are never filtered. *)
+
+open Srp_ir
+
+let filter ~(access_mty : Mem_ty.t) (locs : Location.Set.t) : Location.Set.t =
+  Location.Set.filter
+    (fun loc ->
+      match Location.mty loc with
+      | None -> true (* heap: unknown cell types, keep *)
+      | Some m -> Mem_ty.equal m access_mty)
+    locs

@@ -1,0 +1,1 @@
+lib/core/check_cleanup.ml: Array Block Cfg Func Instr List Srp_ir Temp

@@ -1,0 +1,1 @@
+lib/core/copy_prop.ml: Block Expr Func Instr List Ops Srp_ir Temp

@@ -1,0 +1,1 @@
+lib/core/expr.ml: Block Cfg Config Fmt Func Instr List Mem_ty Ops Program Srp_alias Srp_ir Srp_profile Srp_ssa Symbol Temp

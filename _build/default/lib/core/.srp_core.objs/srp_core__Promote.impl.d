@@ -1,0 +1,1 @@
+lib/core/promote.ml: Cfg Check_cleanup Config Copy_prop Expr Func Hashtbl List Program Srp_alias Srp_ir Srp_profile Srp_ssa Ssapre

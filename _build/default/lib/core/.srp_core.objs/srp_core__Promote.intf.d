@@ -1,0 +1,1 @@
+lib/core/promote.mli: Config Srp_ir Srp_ssa Ssapre

@@ -1,0 +1,1 @@
+lib/core/ssapre.ml: Array Block Cfg Config Dominance Expr Func Hashtbl Instr Int Label List Loops Ops Queue Site Srp_ir Srp_profile Temp

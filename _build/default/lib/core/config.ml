@@ -1,0 +1,57 @@
+(* Configuration of the register-promotion pass.  The experiment matrix of
+   the paper maps onto these knobs:
+
+   - baseline ORC -O3: [conservative] + [software_check] (the run-time
+     disambiguation of [Nicolau 89] is enabled at O3; paper section 5);
+   - the paper's contribution: [alat ~policy:(Profile p)];
+   - ablations: heuristic speculation, no control speculation, invala.e
+     strategy on/off. *)
+
+type check_style =
+  | No_speculation (* conservative PRE only *)
+  | Software (* address-compare + conditional update after aliased stores *)
+  | Alat (* advanced loads + ALAT checks *)
+
+type speculation_policy =
+  | Spec_never
+  | Spec_heuristic (* singleton points-to sets only *)
+  | Spec_profile of Srp_profile.Alias_profile.t
+
+type t = {
+  check_style : check_style;
+  policy : speculation_policy;
+  control_spec : bool; (* allow ld.sa hoisting into loop preheaders *)
+  use_invala : bool; (* invala.e on cold paths instead of load insertion *)
+  max_rounds : int; (* 1 = direct refs only; 3 covers *p and **q chains *)
+  cold_ratio : float; (* edge colder than this fraction => invala strategy *)
+  (* promote across checks of the address temp itself (paper section 2.4):
+     the data check becomes chk.a with a recovery routine reloading both
+     the pointer and the data.  Off by default, matching the paper's
+     implementation note in section 4. *)
+  cascade : bool;
+}
+
+let conservative =
+  { check_style = No_speculation; policy = Spec_never; control_spec = false;
+    use_invala = false; max_rounds = 3; cold_ratio = 0.05; cascade = false }
+
+(* The ORC -O3 baseline: conservative PRE plus software run-time
+   disambiguation on scalars. *)
+let baseline = { conservative with check_style = Software }
+
+let alat ~profile =
+  { check_style = Alat; policy = Spec_profile profile; control_spec = true;
+    use_invala = true; max_rounds = 3; cold_ratio = 0.05; cascade = false }
+
+(* the section 2.4 extension enabled: *p promoted even when p itself is
+   speculative, repaired by chk.a recovery routines *)
+let alat_cascade ~profile = { (alat ~profile) with cascade = true }
+
+let alat_heuristic =
+  { check_style = Alat; policy = Spec_heuristic; control_spec = false;
+    use_invala = false; max_rounds = 3; cold_ratio = 0.05; cascade = false }
+
+let pp_style ppf = function
+  | No_speculation -> Fmt.string ppf "none"
+  | Software -> Fmt.string ppf "software"
+  | Alat -> Fmt.string ppf "alat"

@@ -1,0 +1,168 @@
+(* Copy propagation between promotion rounds.
+
+   Round 1 rewrites each redundant scalar load as [Mov d = t]; loads that
+   used [d] as an address base then read [load \[d\]].  Without propagation,
+   two loads of *p end up with two different (single-use) address temps and
+   round 2 cannot see they are the same expression.  Propagating copies
+   whose source is itself a single-definition temp (or a constant) restores
+   the unification: both loads become [load \[t\]] — this is the IR-level
+   counterpart of the paper's bottom-up syntax-tree processing (p before
+   *p, section 3.2).
+
+   Sources with multiple definitions (promotion temps refreshed by checks)
+   are never propagated: a check may change the temp's value, so "same
+   temp" would no longer mean "same address".  This conservatism is exactly
+   the paper's cascade restriction (section 4). *)
+
+open Srp_ir
+
+let run (f : Func.t) : unit =
+  (* count static definitions per temp *)
+  let def_counts = Expr.temp_def_counts f in
+  let single_def t =
+    match Temp.Tbl.find_opt def_counts t with Some 1 -> true | _ -> false
+  in
+  (* direct copy map: dst -> src, both sides single-def (or src constant) *)
+  let copies = Temp.Tbl.create 32 in
+  Func.iter_instrs
+    (fun _ ins ->
+      match ins with
+      | Instr.Mov { dst; src } when single_def dst -> (
+        match src with
+        | Ops.Temp s when single_def s -> Temp.Tbl.replace copies dst src
+        | Ops.Int _ | Ops.Flt _ | Ops.Sym_addr _ -> Temp.Tbl.replace copies dst src
+        | Ops.Temp _ -> ())
+      | _ -> ())
+    f;
+  (* resolve chains (dst -> src -> src' ...) with a depth guard *)
+  let rec resolve ?(depth = 0) (o : Ops.operand) : Ops.operand =
+    if depth > 32 then o
+    else
+      match o with
+      | Ops.Temp t -> (
+        match Temp.Tbl.find_opt copies t with
+        | Some src -> resolve ~depth:(depth + 1) src
+        | None -> o)
+      | Ops.Int _ | Ops.Flt _ | Ops.Sym_addr _ -> o
+  in
+  let subst_operand (o : Ops.operand) : Ops.operand = resolve o in
+  let subst_addr (a : Ops.addr) : Ops.addr =
+    match a.Ops.base with
+    | Ops.Sym _ -> a
+    | Ops.Reg r -> (
+      match resolve (Ops.Temp r) with
+      | Ops.Temp r' -> { a with Ops.base = Ops.Reg r' }
+      | Ops.Sym_addr s ->
+        (* the pointer is a known symbol address: the access is direct *)
+        { Ops.base = Ops.Sym s; offset = a.Ops.offset }
+      | Ops.Int _ | Ops.Flt _ -> a)
+  in
+  let subst_instr (ins : Instr.instr) : Instr.instr =
+    match ins with
+    | Instr.Load { dst; addr; mty; site; promo } ->
+      Instr.Load { dst; addr = subst_addr addr; mty; site; promo }
+    | Instr.Store { src; addr; mty; site } ->
+      Instr.Store { src = subst_operand src; addr = subst_addr addr; mty; site }
+    | Instr.Bin { dst; op; a; b } ->
+      Instr.Bin { dst; op; a = subst_operand a; b = subst_operand b }
+    | Instr.Un { dst; op; a } -> Instr.Un { dst; op; a = subst_operand a }
+    | Instr.Mov { dst; src } -> Instr.Mov { dst; src = subst_operand src }
+    | Instr.Call { dst; callee; args; site } ->
+      Instr.Call { dst; callee; args = List.map subst_operand args; site }
+    | Instr.Alloc { dst; nbytes; site } ->
+      Instr.Alloc { dst; nbytes = subst_operand nbytes; site }
+    | Instr.Check { dst; addr; mty; site; kind; recovery } ->
+      Instr.Check { dst; addr = subst_addr addr; mty; site; kind; recovery }
+    | Instr.Invala _ -> ins
+    | Instr.Sw_check { dst; addr; store_addr; stored; mty; site } ->
+      Instr.Sw_check
+        { dst; addr = subst_addr addr; store_addr = subst_addr store_addr;
+          stored = subst_operand stored; mty; site }
+  in
+  let subst_term (t : Instr.terminator) : Instr.terminator =
+    match t with
+    | Instr.Jump _ -> t
+    | Instr.Br { cond; ifso; ifnot } -> Instr.Br { cond = subst_operand cond; ifso; ifnot }
+    | Instr.Ret (Some o) -> Instr.Ret (Some (subst_operand o))
+    | Instr.Ret None -> t
+  in
+  List.iter
+    (fun blk ->
+      blk.Block.instrs <- List.map subst_instr blk.Block.instrs;
+      blk.Block.term <- subst_term blk.Block.term)
+    (Func.blocks f)
+
+(* Block-local copy propagation with *multi-definition* sources (promotion
+   temps).  [Mov d = t] makes d an alias of t until either is redefined
+   within the block; uses of d in that window read t instead.  This is what
+   lets two loads of *w inside one loop iteration share w's promotion temp
+   as their address base even though the temp is redefined every iteration
+   — pointer-walking loops depend on it. *)
+let run_local (f : Func.t) : unit =
+  let subst_in_block (blk : Block.t) =
+    let alias : Ops.operand Temp.Tbl.t = Temp.Tbl.create 8 in
+    let kill_temp d =
+      Temp.Tbl.remove alias d;
+      (* any alias whose source is d dies too *)
+      let stale =
+        Temp.Tbl.fold
+          (fun k v acc ->
+            match v with
+            | Ops.Temp s when Temp.equal s d -> k :: acc
+            | _ -> acc)
+          alias []
+      in
+      List.iter (Temp.Tbl.remove alias) stale
+    in
+    let res (o : Ops.operand) =
+      match o with
+      | Ops.Temp t -> ( match Temp.Tbl.find_opt alias t with Some v -> v | None -> o)
+      | _ -> o
+    in
+    let res_addr (a : Ops.addr) =
+      match a.Ops.base with
+      | Ops.Sym _ -> a
+      | Ops.Reg r -> (
+        match Temp.Tbl.find_opt alias r with
+        | Some (Ops.Temp r') -> { a with Ops.base = Ops.Reg r' }
+        | Some (Ops.Sym_addr s) -> { Ops.base = Ops.Sym s; offset = a.Ops.offset }
+        | Some _ | None -> a)
+    in
+    let rewrite (ins : Instr.instr) : Instr.instr =
+      let ins' =
+        match ins with
+        | Instr.Load { dst; addr; mty; site; promo } ->
+          Instr.Load { dst; addr = res_addr addr; mty; site; promo }
+        | Instr.Store { src; addr; mty; site } ->
+          Instr.Store { src = res src; addr = res_addr addr; mty; site }
+        | Instr.Bin { dst; op; a; b } -> Instr.Bin { dst; op; a = res a; b = res b }
+        | Instr.Un { dst; op; a } -> Instr.Un { dst; op; a = res a }
+        | Instr.Mov { dst; src } -> Instr.Mov { dst; src = res src }
+        | Instr.Call { dst; callee; args; site } ->
+          Instr.Call { dst; callee; args = List.map res args; site }
+        | Instr.Alloc { dst; nbytes; site } ->
+          Instr.Alloc { dst; nbytes = res nbytes; site }
+        | Instr.Check { dst; addr; mty; site; kind; recovery } ->
+          Instr.Check { dst; addr = res_addr addr; mty; site; kind; recovery }
+        | Instr.Invala _ -> ins
+        | Instr.Sw_check { dst; addr; store_addr; stored; mty; site } ->
+          Instr.Sw_check
+            { dst; addr = res_addr addr; store_addr = res_addr store_addr;
+              stored = res stored; mty; site }
+      in
+      List.iter kill_temp (Instr.defs ins');
+      (match ins' with
+      | Instr.Mov { dst; src = (Ops.Temp _ | Ops.Sym_addr _) as src } ->
+        Temp.Tbl.replace alias dst src
+      | _ -> ());
+      ins'
+    in
+    blk.Block.instrs <- List.map rewrite blk.Block.instrs;
+    blk.Block.term <-
+      (match blk.Block.term with
+      | Instr.Jump _ as t -> t
+      | Instr.Br { cond; ifso; ifnot } -> Instr.Br { cond = res cond; ifso; ifnot }
+      | Instr.Ret (Some o) -> Instr.Ret (Some (res o))
+      | Instr.Ret None as t -> t)
+  in
+  List.iter subst_in_block (Func.blocks f)

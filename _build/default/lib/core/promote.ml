@@ -1,0 +1,89 @@
+(* Register promotion driver.
+
+   Bottom-up rounds over the expression syntax tree (paper section 3.2:
+   p before *p before **p): round 1 promotes direct references; rounds 2..n
+   promote indirect references through address temps that became
+   single-definition SSA values in earlier rounds.  The alias analyses and
+   mod/ref summaries are recomputed between rounds because each round
+   manufactures new temps the previous solution has never seen. *)
+
+open Srp_ir
+module Manager = Srp_alias.Manager
+module Modref = Srp_alias.Modref
+
+type result = {
+  stats : Ssapre.stats;
+  per_func : (string * Ssapre.stats) list;
+}
+
+let policy_of_config (prog : Program.t) (config : Config.t) : Srp_ssa.Spec_policy.t =
+  let mode =
+    match config.Config.policy with
+    | Config.Spec_never -> Srp_ssa.Spec_policy.Never
+    | Config.Spec_heuristic -> Srp_ssa.Spec_policy.Heuristic
+    | Config.Spec_profile p -> Srp_ssa.Spec_policy.Profile p
+  in
+  Srp_ssa.Spec_policy.create prog mode
+
+let block_count_fn (config : Config.t) =
+  match config.Config.policy with
+  | Config.Spec_profile p ->
+    fun ~func ~label_id -> Srp_profile.Alias_profile.block_count p ~func ~label_id
+  | Config.Spec_never | Config.Spec_heuristic -> fun ~func:_ ~label_id:_ -> 0
+
+(* Promote every function of [prog] in place. *)
+let run ?(config = Config.baseline) (prog : Program.t) : result =
+  let total = Ssapre.empty_stats () in
+  let per_func = Hashtbl.create 8 in
+  let func_stats f =
+    match Hashtbl.find_opt per_func (Func.name f) with
+    | Some s -> s
+    | None ->
+      let s = Ssapre.empty_stats () in
+      Hashtbl.replace per_func (Func.name f) s;
+      s
+  in
+  let cm_ctx =
+    { Ssapre.config; profile_hot = block_count_fn config;
+      site_gen = prog.Program.site_gen }
+  in
+  let continue_ = ref true in
+  let round = ref 0 in
+  while !continue_ && !round < max 1 config.Config.max_rounds do
+    incr round;
+    (* fresh whole-program analyses: each round makes new temps *)
+    let mgr = Manager.build prog in
+    let modref = Modref.compute mgr prog in
+    let policy = policy_of_config prog config in
+    let round_work = ref false in
+    List.iter
+      (fun f ->
+        let keys =
+          Expr.candidates ~indirect:false f @ Expr.candidates ~indirect:true f
+        in
+        if keys <> [] then begin
+          let cfg = Cfg.build f in
+          let collect =
+            { Expr.mgr; modref; policy; style = config.Config.check_style;
+              cascade = config.Config.cascade; cfg }
+          in
+          let before = (func_stats f).Ssapre.exprs_promoted in
+          List.iter
+            (fun key -> Ssapre.run_expr cm_ctx collect f key (func_stats f))
+            keys;
+          if (func_stats f).Ssapre.exprs_promoted > before then round_work := true
+        end)
+      (Program.funcs prog);
+    (* expose this round's promotion temps as address bases for the next *)
+    List.iter Copy_prop.run (Program.funcs prog);
+    List.iter Copy_prop.run_local (Program.funcs prog);
+    continue_ := !round_work
+  done;
+  List.iter
+    (fun f ->
+      Check_cleanup.run f;
+      f.Func.ssa_temps <- false)
+    (Program.funcs prog);
+  Hashtbl.iter (fun _ s -> Ssapre.add_stats total s) per_func;
+  { stats = total;
+    per_func = Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_func [] }

@@ -1,0 +1,26 @@
+(** Register promotion driver — the paper's primary contribution.
+
+    Runs bottom-up rounds of per-expression SSAPRE over every function of a
+    program, in place (paper section 3.2: [p] before [*p] before [**p]):
+    round 1 promotes direct references; later rounds promote indirect
+    references through address temps exposed by earlier rounds.  The alias
+    analyses and mod/ref summaries are recomputed between rounds because
+    each round manufactures new temps.
+
+    After promotion the program contains multiple-definition temps plus
+    [Check]/[Invala]/[Sw_check] pseudo-instructions; it is no longer
+    interpretable by {!Srp_profile.Interp} but compiles via
+    {!Srp_target.Codegen} and runs on {!Srp_machine.Machine}. *)
+
+type result = {
+  stats : Ssapre.stats;  (** whole-program promotion statistics *)
+  per_func : (string * Ssapre.stats) list;
+}
+
+(** [run ~config prog] promotes every function of [prog] in place and
+    returns the statistics.  Defaults to {!Config.baseline}. *)
+val run : ?config:Config.t -> Srp_ir.Program.t -> result
+
+(**/**)
+
+val policy_of_config : Srp_ir.Program.t -> Config.t -> Srp_ssa.Spec_policy.t

@@ -1,0 +1,1 @@
+lib/driver/experiments.ml: Fmt List Pipeline Report Srp_core Srp_frontend Srp_machine Srp_profile Srp_support Srp_target Workload

@@ -1,0 +1,1 @@
+lib/driver/pipeline.ml: Program Srp_core Srp_frontend Srp_ir Srp_machine Srp_profile Srp_target Workload

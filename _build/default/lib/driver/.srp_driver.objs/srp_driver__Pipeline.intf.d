@@ -1,0 +1,1 @@
+lib/driver/pipeline.mli: Program Srp_core Srp_ir Srp_machine Srp_profile Srp_target Workload

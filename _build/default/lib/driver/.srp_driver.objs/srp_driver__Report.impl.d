@@ -1,0 +1,1 @@
+lib/driver/report.ml: Fmt List Srp_core Srp_machine Srp_support

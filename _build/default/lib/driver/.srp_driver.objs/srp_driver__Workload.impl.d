@@ -1,0 +1,1 @@
+lib/driver/workload.ml: List Program Srp_ir

@@ -1,0 +1,1 @@
+lib/driver/workload.mli: Program Srp_ir

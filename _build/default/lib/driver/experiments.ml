@@ -1,0 +1,161 @@
+(* The paper's experiment suite: one function per figure, plus the
+   ablations DESIGN.md commits to.  Each experiment runs the full pipeline
+   (profile on train, compile, execute on ref in the machine simulator)
+   and checks output equality between builds as it goes — a bench run
+   doubles as an end-to-end correctness check. *)
+
+module C = Srp_machine.Counters
+
+type bench_result = {
+  w : Workload.t;
+  base : Pipeline.run_result;
+  spec : Pipeline.run_result;
+}
+
+exception Output_mismatch of string
+
+let promote_stats (r : Pipeline.run_result) : Srp_core.Ssapre.stats =
+  match r.Pipeline.compiled.Pipeline.promote with
+  | Some p -> p.Srp_core.Promote.stats
+  | None -> Srp_core.Ssapre.empty_stats ()
+
+(* Run one workload at baseline and ALAT levels and check equivalence. *)
+let run_pair ?fuel (w : Workload.t) : bench_result =
+  let base = Pipeline.profile_compile_run ?fuel w Pipeline.Baseline in
+  let spec = Pipeline.profile_compile_run ?fuel w Pipeline.Alat in
+  if base.Pipeline.output <> spec.Pipeline.output then
+    raise
+      (Output_mismatch
+         (Fmt.str "%s: baseline and speculative outputs differ!" w.Workload.name));
+  { w; base; spec }
+
+let run_all ?fuel (workloads : Workload.t list) : bench_result list =
+  List.map (run_pair ?fuel) workloads
+
+(* --- the four figures --- *)
+
+let figure8 (rs : bench_result list) : string =
+  let rows =
+    List.map
+      (fun r ->
+        Report.figure8_row ~name:r.w.Workload.name
+          ~base:r.base.Pipeline.counters ~spec:r.spec.Pipeline.counters)
+      rs
+  in
+  Report.render_figure8 rows
+
+let figure9 (rs : bench_result list) : string =
+  let rows =
+    List.map
+      (fun r ->
+        Report.figure9_row ~name:r.w.Workload.name
+          ~base:(promote_stats r.base) ~spec:(promote_stats r.spec))
+      rs
+  in
+  Report.render_figure9 rows
+
+let figure10 (rs : bench_result list) : string =
+  let rows =
+    List.map
+      (fun r ->
+        Report.figure10_row ~name:r.w.Workload.name ~spec:r.spec.Pipeline.counters)
+      rs
+  in
+  Report.render_figure10 rows
+
+let figure11 (rs : bench_result list) : string =
+  let rows =
+    List.map
+      (fun r ->
+        Report.figure11_row ~name:r.w.Workload.name
+          ~base:r.base.Pipeline.counters ~spec:r.spec.Pipeline.counters)
+      rs
+  in
+  Report.render_figure11 rows
+
+(* --- ablations --- *)
+
+(* Generic comparison of two configs over a workload list; rows of
+   (name, cycles_a, cycles_b, reduction%). *)
+let compare_configs ?fuel ~(mk_a : Srp_profile.Alias_profile.t -> Srp_core.Config.t option)
+    ~(mk_b : Srp_profile.Alias_profile.t -> Srp_core.Config.t option)
+    (workloads : Workload.t list) : (string * int * int * float) list =
+  List.map
+    (fun w ->
+      let profile = Pipeline.train_profile w in
+      let run mk =
+        let ir = Srp_frontend.Lower.compile_source w.Workload.source in
+        Workload.apply_input ir w.Workload.ref_;
+        (match mk profile with
+        | Some config -> ignore (Srp_core.Promote.run ~config ir)
+        | None -> ());
+        let target = Srp_target.Codegen.gen_program ir in
+        Srp_machine.Machine.run_program ?fuel target
+      in
+      let _, out_a, ca = run mk_a in
+      let _, out_b, cb = run mk_b in
+      if out_a <> out_b then
+        raise (Output_mismatch (Fmt.str "%s: ablation outputs differ!" w.Workload.name));
+      let red =
+        100.0 *. float_of_int (ca.C.cycles - cb.C.cycles) /. float_of_int (max 1 ca.C.cycles)
+      in
+      (w.Workload.name, ca.C.cycles, cb.C.cycles, red))
+    workloads
+
+let render_compare ~label_a ~label_b rows =
+  Srp_support.Pp_util.render_table
+    ~header:[ "benchmark"; label_a ^ " cycles"; label_b ^ " cycles"; "gain %" ]
+    ~rows:
+      (List.map
+         (fun (n, a, b, red) ->
+           [ n; string_of_int a; string_of_int b; Fmt.str "%.2f" red ])
+         rows)
+
+(* Ablation A: invala.e strategy on/off. *)
+let ablation_invala ?fuel workloads =
+  compare_configs ?fuel
+    ~mk_a:(fun p -> Some { (Srp_core.Config.alat ~profile:p) with Srp_core.Config.use_invala = false })
+    ~mk_b:(fun p -> Some (Srp_core.Config.alat ~profile:p))
+    workloads
+  |> render_compare ~label_a:"no-invala" ~label_b:"invala"
+
+(* Ablation B: software run-time disambiguation vs ALAT speculation. *)
+let ablation_software ?fuel workloads =
+  compare_configs ?fuel
+    ~mk_a:(fun _ -> Some Srp_core.Config.baseline)
+    ~mk_b:(fun p -> Some (Srp_core.Config.alat ~profile:p))
+    workloads
+  |> render_compare ~label_a:"software" ~label_b:"alat"
+
+(* Ablation C: value of the software checks themselves (conservative PRE vs
+   baseline). *)
+let ablation_conservative ?fuel workloads =
+  compare_configs ?fuel
+    ~mk_a:(fun _ -> Some Srp_core.Config.conservative)
+    ~mk_b:(fun _ -> Some Srp_core.Config.baseline)
+    workloads
+  |> render_compare ~label_a:"conservative" ~label_b:"software"
+
+(* Ablation D: heuristic speculation (no profile) vs profile-driven. *)
+let ablation_heuristic ?fuel workloads =
+  compare_configs ?fuel
+    ~mk_a:(fun _ -> Some Srp_core.Config.alat_heuristic)
+    ~mk_b:(fun p -> Some (Srp_core.Config.alat ~profile:p))
+    workloads
+  |> render_compare ~label_a:"heuristic" ~label_b:"profile"
+
+(* Ablation E: control speculation (ld.sa hoisting) on/off. *)
+let ablation_control_spec ?fuel workloads =
+  compare_configs ?fuel
+    ~mk_a:(fun p -> Some { (Srp_core.Config.alat ~profile:p) with Srp_core.Config.control_spec = false })
+    ~mk_b:(fun p -> Some (Srp_core.Config.alat ~profile:p))
+    workloads
+  |> render_compare ~label_a:"no-ld.sa" ~label_b:"ld.sa"
+
+(* Ablation F: cascade promotion (section 2.4) on/off. *)
+let ablation_cascade ?fuel workloads =
+  compare_configs ?fuel
+    ~mk_a:(fun p -> Some (Srp_core.Config.alat ~profile:p))
+    ~mk_b:(fun p -> Some (Srp_core.Config.alat_cascade ~profile:p))
+    workloads
+  |> render_compare ~label_a:"no-cascade" ~label_b:"cascade"

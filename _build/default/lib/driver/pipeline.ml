@@ -1,0 +1,91 @@
+(* Compilation pipelines — the experiment matrix of the paper:
+
+   - [O0]: straight lowering, no promotion (for reference only);
+   - [Baseline]: the ORC -O3 stand-in: conservative PRE register promotion
+     plus software run-time disambiguation on scalars (paper section 4
+     says the baseline includes the software approach of [30]);
+   - [Alat]: baseline machinery plus ALAT data speculation driven by an
+     alias profile collected on the *train* input (the paper's system);
+   - [Alat_heuristic]: ALAT speculation from static heuristics only —
+     the no-profile ablation;
+   - [Conservative]: PRE without any speculation (software checks off),
+     isolating the value of the software baseline itself. *)
+
+open Srp_ir
+module Alias_profile = Srp_profile.Alias_profile
+
+type level =
+  | O0
+  | Conservative
+  | Baseline
+  | Alat
+  | Alat_heuristic
+
+let level_name = function
+  | O0 -> "O0"
+  | Conservative -> "conservative"
+  | Baseline -> "baseline"
+  | Alat -> "alat"
+  | Alat_heuristic -> "alat-heuristic"
+
+(* Collect an alias profile by interpreting the program on the train
+   input. *)
+let train_profile (w : Workload.t) : Alias_profile.t =
+  let prog = Srp_frontend.Lower.compile_source w.Workload.source in
+  Workload.apply_input prog w.Workload.train;
+  let interp = Srp_profile.Interp.create prog in
+  ignore (Srp_profile.Interp.run interp);
+  Srp_profile.Interp.profile interp
+
+let config_of_level (level : level) (profile : Alias_profile.t option) :
+    Srp_core.Config.t option =
+  match level, profile with
+  | O0, _ -> None
+  | Conservative, _ -> Some Srp_core.Config.conservative
+  | Baseline, _ -> Some Srp_core.Config.baseline
+  | Alat, Some p -> Some (Srp_core.Config.alat ~profile:p)
+  | Alat, None -> Some Srp_core.Config.alat_heuristic
+  | Alat_heuristic, _ -> Some Srp_core.Config.alat_heuristic
+
+type compiled = {
+  level : level;
+  ir : Program.t;
+  target : Srp_target.Insn.program;
+  promote : Srp_core.Promote.result option;
+}
+
+(* Compile [w] at [level]; the ref input is applied to the globals before
+   code generation (static data), the profile comes from the train run. *)
+let compile ?profile ~(input : Workload.input) (w : Workload.t) (level : level) :
+    compiled =
+  let ir = Srp_frontend.Lower.compile_source w.Workload.source in
+  Workload.apply_input ir input;
+  let promote =
+    match config_of_level level profile with
+    | None -> None
+    | Some config -> Some (Srp_core.Promote.run ~config ir)
+  in
+  let target = Srp_target.Codegen.gen_program ir in
+  { level; ir; target; promote }
+
+type run_result = {
+  compiled : compiled;
+  exit_code : int64;
+  output : string;
+  counters : Srp_machine.Counters.t;
+}
+
+let run ?fuel (c : compiled) : run_result =
+  let exit_code, output, counters = Srp_machine.Machine.run_program ?fuel c.target in
+  { compiled = c; exit_code; output; counters }
+
+(* The standard experiment: profile on train, compile at [level], run on
+   ref. *)
+let profile_compile_run ?fuel (w : Workload.t) (level : level) : run_result =
+  let profile =
+    match level with
+    | Alat -> Some (train_profile w)
+    | O0 | Conservative | Baseline | Alat_heuristic -> None
+  in
+  let c = compile ?profile ~input:w.Workload.ref_ w level in
+  run ?fuel c

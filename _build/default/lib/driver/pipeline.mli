@@ -1,0 +1,53 @@
+(** Compilation pipelines — the experiment matrix of the paper. *)
+
+open Srp_ir
+
+(** The optimization levels the experiments compare. *)
+type level =
+  | O0  (** straight lowering, no promotion *)
+  | Conservative  (** PRE register promotion, no speculation *)
+  | Baseline
+      (** the ORC -O3 stand-in: conservative PRE + software run-time
+          disambiguation on scalars (paper section 4) *)
+  | Alat
+      (** the paper's system: ALAT speculation driven by an alias profile
+          collected on the train input *)
+  | Alat_heuristic  (** ALAT speculation from static heuristics only *)
+
+val level_name : level -> string
+
+(** Collect an alias profile by interpreting the workload on its train
+    input. *)
+val train_profile : Workload.t -> Srp_profile.Alias_profile.t
+
+val config_of_level :
+  level -> Srp_profile.Alias_profile.t option -> Srp_core.Config.t option
+
+type compiled = {
+  level : level;
+  ir : Program.t;  (** the (possibly promoted) IR *)
+  target : Srp_target.Insn.program;
+  promote : Srp_core.Promote.result option;
+}
+
+(** Compile a workload at a level; [input] (usually the ref input) is baked
+    into the global initializers before promotion and code generation. *)
+val compile :
+  ?profile:Srp_profile.Alias_profile.t ->
+  input:Workload.input ->
+  Workload.t ->
+  level ->
+  compiled
+
+type run_result = {
+  compiled : compiled;
+  exit_code : int64;
+  output : string;
+  counters : Srp_machine.Counters.t;
+}
+
+val run : ?fuel:int -> compiled -> run_result
+
+(** The standard experiment protocol: profile on train (for [Alat]),
+    compile at [level], execute on ref. *)
+val profile_compile_run : ?fuel:int -> Workload.t -> level -> run_result

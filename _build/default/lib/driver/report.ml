@@ -1,0 +1,128 @@
+(* Derivation of the paper's evaluation figures from counter pairs.
+
+   Figure 8 — per benchmark, the reduction (in %) of total CPU cycles,
+   data-access cycles and retired loads of the speculative build relative
+   to the baseline build.
+   Figure 9 — among the loads the speculative build eliminated, the split
+   between direct and indirect references (from promotion statistics).
+   Figure 10 — checks/loads and the mis-speculation ratio
+   (failed checks / checks retired).
+   Figure 11 — RSE cycle increase relative to baseline, and RSE cycles as
+   a fraction of total cycles. *)
+
+module C = Srp_machine.Counters
+
+let pct_reduction ~base ~new_ =
+  if base = 0 then 0.0
+  else 100.0 *. (float_of_int (base - new_) /. float_of_int base)
+
+type fig8_row = {
+  f8_name : string;
+  cpu_cycles_red : float;
+  data_access_red : float;
+  loads_red : float;
+}
+
+let figure8_row ~name ~(base : C.t) ~(spec : C.t) : fig8_row =
+  { f8_name = name;
+    cpu_cycles_red = pct_reduction ~base:base.C.cycles ~new_:spec.C.cycles;
+    data_access_red =
+      pct_reduction ~base:base.C.data_access_cycles ~new_:spec.C.data_access_cycles;
+    loads_red = pct_reduction ~base:base.C.loads_retired ~new_:spec.C.loads_retired }
+
+type fig9_row = {
+  f9_name : string;
+  direct_pct : float;
+  indirect_pct : float;
+  eliminated_total : int;
+}
+
+(* Classified from promotion statistics: the *additional* load sites the
+   speculative build eliminated beyond the baseline, split direct vs
+   indirect (the baseline already removes the unaliased ones, so the delta
+   is what speculation bought — the quantity Figure 9 plots). *)
+let figure9_row ~name ~(base : Srp_core.Ssapre.stats)
+    ~(spec : Srp_core.Ssapre.stats) : fig9_row =
+  let d =
+    max 0
+      (spec.Srp_core.Ssapre.loads_eliminated_direct
+      - base.Srp_core.Ssapre.loads_eliminated_direct)
+  in
+  let i =
+    max 0
+      (spec.Srp_core.Ssapre.loads_eliminated_indirect
+      - base.Srp_core.Ssapre.loads_eliminated_indirect)
+  in
+  let total = d + i in
+  let pct x = if total = 0 then 0.0 else 100.0 *. float_of_int x /. float_of_int total in
+  { f9_name = name; direct_pct = pct d; indirect_pct = pct i; eliminated_total = total }
+
+type fig10_row = {
+  f10_name : string;
+  checks_per_load : float; (* checks retired / loads retired, % *)
+  misspec_ratio : float; (* failed checks / checks retired, % *)
+}
+
+let figure10_row ~name ~(spec : C.t) : fig10_row =
+  let ratio a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b in
+  { f10_name = name;
+    checks_per_load = ratio spec.C.checks_retired spec.C.loads_retired;
+    misspec_ratio = ratio spec.C.check_failures spec.C.checks_retired }
+
+type fig11_row = {
+  f11_name : string;
+  rse_increase : float; (* % increase of RSE cycles vs baseline *)
+  rse_fraction : float; (* RSE cycles / total cycles of the spec build, % *)
+}
+
+let figure11_row ~name ~(base : C.t) ~(spec : C.t) : fig11_row =
+  let incr =
+    if base.C.rse_cycles = 0 then if spec.C.rse_cycles = 0 then 0.0 else 100.0
+    else
+      100.0
+      *. (float_of_int (spec.C.rse_cycles - base.C.rse_cycles)
+         /. float_of_int base.C.rse_cycles)
+  in
+  { f11_name = name; rse_increase = incr;
+    rse_fraction =
+      (if spec.C.cycles = 0 then 0.0
+       else 100.0 *. float_of_int spec.C.rse_cycles /. float_of_int spec.C.cycles) }
+
+(* --- table rendering --- *)
+
+let pct = Fmt.str "%.2f"
+
+let render_figure8 rows =
+  Srp_support.Pp_util.render_table
+    ~header:[ "benchmark"; "cpu cycles red %"; "data access red %"; "loads red %" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ r.f8_name; pct r.cpu_cycles_red; pct r.data_access_red; pct r.loads_red ])
+         rows)
+
+let render_figure9 rows =
+  Srp_support.Pp_util.render_table
+    ~header:[ "benchmark"; "direct %"; "indirect %"; "eliminated sites" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ r.f9_name; pct r.direct_pct; pct r.indirect_pct;
+             string_of_int r.eliminated_total ])
+         rows)
+
+let render_figure10 rows =
+  Srp_support.Pp_util.render_table
+    ~header:[ "benchmark"; "checks/loads %"; "mis-speculation %" ]
+    ~rows:
+      (List.map
+         (fun r -> [ r.f10_name; pct r.checks_per_load; pct r.misspec_ratio ])
+         rows)
+
+let render_figure11 rows =
+  Srp_support.Pp_util.render_table
+    ~header:[ "benchmark"; "RSE cycles increase %"; "RSE/total cycles %" ]
+    ~rows:
+      (List.map
+         (fun r -> [ r.f11_name; pct r.rse_increase; Fmt.str "%.4f" r.rse_fraction ])
+         rows)

@@ -1,0 +1,19 @@
+(* Workload description: a MiniC source plus train and ref input sets,
+   injected as global-initializer overrides before each run (the MiniC
+   programs read their inputs from global arrays, which keeps both the
+   interpreter and the machine free of any I/O model). *)
+
+open Srp_ir
+
+type input = (string * Program.global_init) list
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  train : input;
+  ref_ : input;
+}
+
+let apply_input (prog : Program.t) (input : input) : unit =
+  List.iter (fun (name, init) -> Program.set_global_init prog name init) input

@@ -1,0 +1,20 @@
+(** Workload description: a MiniC source plus train and ref input sets.
+
+    Inputs are injected as global-initializer overrides before each run,
+    which keeps both the interpreter and the machine free of any I/O
+    model — the MiniC programs read their inputs from global arrays. *)
+
+open Srp_ir
+
+type input = (string * Program.global_init) list
+
+type t = {
+  name : string;
+  description : string;
+  source : string;  (** MiniC source text *)
+  train : input;  (** profiling input (the paper's SPEC train set) *)
+  ref_ : input;  (** measurement input (the paper's SPEC ref set) *)
+}
+
+(** Overwrite the named globals' initializers in place. *)
+val apply_input : Program.t -> input -> unit

@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Array Ast Block Fmt Func Hashtbl Instr Int64 Label List Loops Mem_ty Ops Option Parser Program Site Srp_ir Struct_env Symbol Temp Typecheck Typed_ast Verify

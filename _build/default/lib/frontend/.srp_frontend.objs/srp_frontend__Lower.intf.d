@@ -1,0 +1,1 @@
+lib/frontend/lower.mli: Srp_ir Typed_ast

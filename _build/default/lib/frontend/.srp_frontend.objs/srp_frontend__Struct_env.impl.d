@@ -1,0 +1,1 @@
+lib/frontend/struct_env.ml: Ast Fmt Hashtbl List Srp_ir

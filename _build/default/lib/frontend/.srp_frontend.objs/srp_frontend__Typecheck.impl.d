@@ -1,0 +1,1 @@
+lib/frontend/typecheck.ml: Ast Fmt Hashtbl List Option Srp_ir Struct_env Typed_ast

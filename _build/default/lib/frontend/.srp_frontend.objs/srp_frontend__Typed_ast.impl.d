@@ -1,0 +1,1 @@
+lib/frontend/typed_ast.ml: Ast Struct_env

@@ -1,0 +1,196 @@
+(* Hand-written lexer for MiniC.  Menhir/ocamllex are avoided on purpose:
+   the token set is small and a hand lexer keeps error positions precise. *)
+
+type token =
+  | INT_LIT of int64
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW_INT | KW_DOUBLE | KW_VOID | KW_STRUCT
+  | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR
+  | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | SHL | SHR
+  | AMPAMP | PIPEPIPE | BANG
+  | EQ | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ
+  | EQEQ | NEQ | LT | LE | GT | GE
+  | QUESTION | COLON
+  | EOF
+
+exception Lex_error of string * Ast.pos
+
+type lexed = { tok : token; pos : Ast.pos }
+
+let keyword_of_string = function
+  | "int" -> Some KW_INT
+  | "double" -> Some KW_DOUBLE
+  | "void" -> Some KW_VOID
+  | "struct" -> Some KW_STRUCT
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "do" -> Some KW_DO
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : lexed list =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let toks = ref [] in
+  let pos i : Ast.pos = { line = !line; col = i - !bol + 1 } in
+  let error i msg = raise (Lex_error (msg, pos i)) in
+  let emit i tok = toks := { tok; pos = pos i } :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    let start = !i in
+    if c = '\n' then begin
+      incr line;
+      incr i;
+      bol := !i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while not !closed do
+        if !i + 1 >= n then error start "unterminated comment"
+        else if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          i := !i + 2;
+          closed := true
+        end
+        else begin
+          if src.[!i] = '\n' then begin
+            incr line;
+            bol := !i + 1
+          end;
+          incr i
+        end
+      done
+    end
+    else if is_digit c then begin
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      let is_float =
+        !i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1]
+      in
+      if is_float || (!i < n && src.[!i] = '.') then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        (* optional exponent *)
+        if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+          incr i;
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+          while !i < n && is_digit src.[!i] do
+            incr i
+          done
+        end;
+        let s = String.sub src start (!i - start) in
+        emit start (FLOAT_LIT (float_of_string s))
+      end
+      else begin
+        let s = String.sub src start (!i - start) in
+        match Int64.of_string_opt s with
+        | Some v -> emit start (INT_LIT v)
+        | None -> error start ("integer literal out of range: " ^ s)
+      end
+    end
+    else if is_ident_start c then begin
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let s = String.sub src start (!i - start) in
+      match keyword_of_string s with
+      | Some kw -> emit start kw
+      | None -> emit start (IDENT s)
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      let emit2 t =
+        emit start t;
+        i := !i + 2
+      in
+      let emit1 t =
+        emit start t;
+        incr i
+      in
+      match two with
+      | Some "->" -> emit2 ARROW
+      | Some "<<" -> emit2 SHL
+      | Some ">>" -> emit2 SHR
+      | Some "&&" -> emit2 AMPAMP
+      | Some "||" -> emit2 PIPEPIPE
+      | Some "==" -> emit2 EQEQ
+      | Some "!=" -> emit2 NEQ
+      | Some "<=" -> emit2 LE
+      | Some ">=" -> emit2 GE
+      | Some "+=" -> emit2 PLUSEQ
+      | Some "-=" -> emit2 MINUSEQ
+      | Some "*=" -> emit2 STAREQ
+      | Some "/=" -> emit2 SLASHEQ
+      | _ -> (
+        match c with
+        | '(' -> emit1 LPAREN
+        | ')' -> emit1 RPAREN
+        | '{' -> emit1 LBRACE
+        | '}' -> emit1 RBRACE
+        | '[' -> emit1 LBRACKET
+        | ']' -> emit1 RBRACKET
+        | ';' -> emit1 SEMI
+        | ',' -> emit1 COMMA
+        | '.' -> emit1 DOT
+        | '+' -> emit1 PLUS
+        | '-' -> emit1 MINUS
+        | '*' -> emit1 STAR
+        | '/' -> emit1 SLASH
+        | '%' -> emit1 PERCENT
+        | '&' -> emit1 AMP
+        | '|' -> emit1 PIPE
+        | '^' -> emit1 CARET
+        | '~' -> emit1 TILDE
+        | '!' -> emit1 BANG
+        | '=' -> emit1 EQ
+        | '<' -> emit1 LT
+        | '>' -> emit1 GT
+        | '?' -> emit1 QUESTION
+        | ':' -> emit1 COLON
+        | _ -> error start (Fmt.str "unexpected character %C" c))
+    end
+  done;
+  List.rev ({ tok = EOF; pos = pos n } :: !toks)
+
+let token_to_string = function
+  | INT_LIT i -> Int64.to_string i
+  | FLOAT_LIT f -> string_of_float f
+  | IDENT s -> s
+  | KW_INT -> "int" | KW_DOUBLE -> "double" | KW_VOID -> "void"
+  | KW_STRUCT -> "struct" | KW_IF -> "if" | KW_ELSE -> "else"
+  | KW_WHILE -> "while" | KW_DO -> "do" | KW_FOR -> "for"
+  | KW_RETURN -> "return" | KW_BREAK -> "break" | KW_CONTINUE -> "continue"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]" | SEMI -> ";" | COMMA -> ","
+  | DOT -> "." | ARROW -> "->" | PLUS -> "+" | MINUS -> "-" | STAR -> "*"
+  | SLASH -> "/" | PERCENT -> "%" | AMP -> "&" | PIPE -> "|" | CARET -> "^"
+  | TILDE -> "~" | SHL -> "<<" | SHR -> ">>" | AMPAMP -> "&&"
+  | PIPEPIPE -> "||" | BANG -> "!" | EQ -> "=" | PLUSEQ -> "+="
+  | MINUSEQ -> "-=" | STAREQ -> "*=" | SLASHEQ -> "/=" | EQEQ -> "=="
+  | NEQ -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | QUESTION -> "?" | COLON -> ":" | EOF -> "<eof>"

@@ -1,0 +1,424 @@
+(* Recursive-descent parser for MiniC with precedence-climbing expression
+   parsing. *)
+
+exception Parse_error of string * Ast.pos
+
+type state = { mutable toks : Lexer.lexed list }
+
+let error (st : state) msg =
+  let pos = match st.toks with { pos; _ } :: _ -> pos | [] -> Ast.no_pos in
+  raise (Parse_error (msg, pos))
+
+let peek st = match st.toks with { tok; _ } :: _ -> tok | [] -> Lexer.EOF
+let peek2 st = match st.toks with _ :: { tok; _ } :: _ -> tok | _ -> Lexer.EOF
+let cur_pos st = match st.toks with { pos; _ } :: _ -> pos | [] -> Ast.no_pos
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st
+      (Fmt.str "expected '%s', found '%s'" (Lexer.token_to_string tok)
+         (Lexer.token_to_string (peek st)))
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> error st (Fmt.str "expected identifier, found '%s'" (Lexer.token_to_string t))
+
+(* --- types --- *)
+
+let is_type_start st =
+  match peek st with
+  | Lexer.KW_INT | Lexer.KW_DOUBLE | Lexer.KW_VOID -> true
+  | Lexer.KW_STRUCT -> (
+    (* [struct S x] is a declaration; [struct S { ... }] a definition,
+       handled at top level. *)
+    match peek2 st with Lexer.IDENT _ -> true | _ -> false)
+  | _ -> false
+
+let parse_base_type st =
+  match peek st with
+  | Lexer.KW_INT ->
+    advance st;
+    Ast.Tint
+  | Lexer.KW_DOUBLE ->
+    advance st;
+    Ast.Tdouble
+  | Lexer.KW_VOID ->
+    advance st;
+    Ast.Tvoid
+  | Lexer.KW_STRUCT ->
+    advance st;
+    let name = expect_ident st in
+    Ast.Tstruct name
+  | t -> error st (Fmt.str "expected type, found '%s'" (Lexer.token_to_string t))
+
+let parse_stars st base =
+  let ty = ref base in
+  while peek st = Lexer.STAR do
+    advance st;
+    ty := Ast.Tptr !ty
+  done;
+  !ty
+
+(* Trailing array dimensions: [int a[10][4]] builds Tarr (Tarr (int,4),10). *)
+let parse_array_suffix st ty =
+  let dims = ref [] in
+  while peek st = Lexer.LBRACKET do
+    advance st;
+    (match peek st with
+    | Lexer.INT_LIT n ->
+      advance st;
+      dims := Int64.to_int n :: !dims
+    | _ -> error st "array dimension must be an integer literal");
+    expect st Lexer.RBRACKET
+  done;
+  List.fold_left (fun acc n -> Ast.Tarr (acc, n)) ty !dims
+
+(* --- expressions (precedence climbing) --- *)
+
+let binop_of_token = function
+  | Lexer.PIPEPIPE -> Some (Ast.Blor, 1)
+  | Lexer.AMPAMP -> Some (Ast.Bland, 2)
+  | Lexer.PIPE -> Some (Ast.Bor, 3)
+  | Lexer.CARET -> Some (Ast.Bxor, 4)
+  | Lexer.AMP -> Some (Ast.Band, 5)
+  | Lexer.EQEQ -> Some (Ast.Beq, 6)
+  | Lexer.NEQ -> Some (Ast.Bne, 6)
+  | Lexer.LT -> Some (Ast.Blt, 7)
+  | Lexer.LE -> Some (Ast.Ble, 7)
+  | Lexer.GT -> Some (Ast.Bgt, 7)
+  | Lexer.GE -> Some (Ast.Bge, 7)
+  | Lexer.SHL -> Some (Ast.Bshl, 8)
+  | Lexer.SHR -> Some (Ast.Bshr, 8)
+  | Lexer.PLUS -> Some (Ast.Badd, 9)
+  | Lexer.MINUS -> Some (Ast.Bsub, 9)
+  | Lexer.STAR -> Some (Ast.Bmul, 10)
+  | Lexer.SLASH -> Some (Ast.Bdiv, 10)
+  | Lexer.PERCENT -> Some (Ast.Brem, 10)
+  | _ -> None
+
+let rec parse_expr st = parse_cond st
+
+and parse_cond st =
+  let c = parse_binary st 1 in
+  if peek st = Lexer.QUESTION then begin
+    let pos = cur_pos st in
+    advance st;
+    let a = parse_expr st in
+    expect st Lexer.COLON;
+    let b = parse_cond st in
+    { Ast.desc = Ast.Econd (c, a, b); pos }
+  end
+  else c
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (peek st) with
+    | Some (op, prec) when prec >= min_prec ->
+      let pos = cur_pos st in
+      advance st;
+      let rhs = parse_binary st (prec + 1) in
+      lhs := { Ast.desc = Ast.Ebin (op, !lhs, rhs); pos }
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let pos = cur_pos st in
+  match peek st with
+  | Lexer.MINUS ->
+    advance st;
+    { Ast.desc = Ast.Eun (Ast.Uneg, parse_unary st); pos }
+  | Lexer.BANG ->
+    advance st;
+    { Ast.desc = Ast.Eun (Ast.Unot, parse_unary st); pos }
+  | Lexer.TILDE ->
+    advance st;
+    { Ast.desc = Ast.Eun (Ast.Ubnot, parse_unary st); pos }
+  | Lexer.STAR ->
+    advance st;
+    { Ast.desc = Ast.Ederef (parse_unary st); pos }
+  | Lexer.AMP ->
+    advance st;
+    { Ast.desc = Ast.Eaddr (parse_unary st); pos }
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    let pos = cur_pos st in
+    match peek st with
+    | Lexer.LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Lexer.RBRACKET;
+      e := { Ast.desc = Ast.Eindex (!e, idx); pos }
+    | Lexer.DOT ->
+      advance st;
+      let f = expect_ident st in
+      e := { Ast.desc = Ast.Efield (!e, f); pos }
+    | Lexer.ARROW ->
+      advance st;
+      let f = expect_ident st in
+      e := { Ast.desc = Ast.Earrow (!e, f); pos }
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_primary st =
+  let pos = cur_pos st in
+  match peek st with
+  | Lexer.INT_LIT v ->
+    advance st;
+    { Ast.desc = Ast.Eint v; pos }
+  | Lexer.FLOAT_LIT v ->
+    advance st;
+    { Ast.desc = Ast.Efloat v; pos }
+  | Lexer.IDENT name ->
+    advance st;
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let args = ref [] in
+      if peek st <> Lexer.RPAREN then begin
+        args := [ parse_expr st ];
+        while peek st = Lexer.COMMA do
+          advance st;
+          args := parse_expr st :: !args
+        done
+      end;
+      expect st Lexer.RPAREN;
+      { Ast.desc = Ast.Ecall (name, List.rev !args); pos }
+    end
+    else { Ast.desc = Ast.Eident name; pos }
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    e
+  | t -> error st (Fmt.str "expected expression, found '%s'" (Lexer.token_to_string t))
+
+(* --- statements --- *)
+
+let rec parse_stmt st : Ast.stmt =
+  let spos = cur_pos st in
+  match peek st with
+  | Lexer.LBRACE ->
+    advance st;
+    let body = parse_stmts_until_rbrace st in
+    { Ast.sdesc = Ast.Sblock body; spos }
+  | Lexer.KW_IF ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN;
+    let then_ = parse_block_or_stmt st in
+    let else_ =
+      if peek st = Lexer.KW_ELSE then begin
+        advance st;
+        parse_block_or_stmt st
+      end
+      else []
+    in
+    { Ast.sdesc = Ast.Sif (cond, then_, else_); spos }
+  | Lexer.KW_WHILE ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN;
+    let body = parse_block_or_stmt st in
+    { Ast.sdesc = Ast.Swhile (cond, body); spos }
+  | Lexer.KW_DO ->
+    advance st;
+    let body = parse_block_or_stmt st in
+    expect st Lexer.KW_WHILE;
+    expect st Lexer.LPAREN;
+    let cond = parse_expr st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.SEMI;
+    { Ast.sdesc = Ast.Sdo (body, cond); spos }
+  | Lexer.KW_FOR ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let init =
+      if peek st = Lexer.SEMI then None else Some (parse_simple_stmt st)
+    in
+    expect st Lexer.SEMI;
+    let cond = if peek st = Lexer.SEMI then None else Some (parse_expr st) in
+    expect st Lexer.SEMI;
+    let step =
+      if peek st = Lexer.RPAREN then None else Some (parse_simple_stmt st)
+    in
+    expect st Lexer.RPAREN;
+    let body = parse_block_or_stmt st in
+    { Ast.sdesc = Ast.Sfor (init, cond, step, body); spos }
+  | Lexer.KW_RETURN ->
+    advance st;
+    let e = if peek st = Lexer.SEMI then None else Some (parse_expr st) in
+    expect st Lexer.SEMI;
+    { Ast.sdesc = Ast.Sreturn e; spos }
+  | Lexer.KW_BREAK ->
+    advance st;
+    expect st Lexer.SEMI;
+    { Ast.sdesc = Ast.Sbreak; spos }
+  | Lexer.KW_CONTINUE ->
+    advance st;
+    expect st Lexer.SEMI;
+    { Ast.sdesc = Ast.Scontinue; spos }
+  | _ ->
+    let s = parse_simple_stmt st in
+    expect st Lexer.SEMI;
+    s
+
+(* A declaration, assignment or expression statement — no trailing ';'
+   (shared between ordinary statements and for-headers). *)
+and parse_simple_stmt st : Ast.stmt =
+  let spos = cur_pos st in
+  if is_type_start st then begin
+    let base = parse_base_type st in
+    let ty = parse_stars st base in
+    let name = expect_ident st in
+    let ty = parse_array_suffix st ty in
+    let init =
+      if peek st = Lexer.EQ then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    { Ast.sdesc = Ast.Sdecl (ty, name, init); spos }
+  end
+  else begin
+    let lhs = parse_expr st in
+    match peek st with
+    | Lexer.EQ ->
+      advance st;
+      let rhs = parse_expr st in
+      { Ast.sdesc = Ast.Sassign (lhs, rhs); spos }
+    | Lexer.PLUSEQ | Lexer.MINUSEQ | Lexer.STAREQ | Lexer.SLASHEQ ->
+      let op =
+        match peek st with
+        | Lexer.PLUSEQ -> Ast.Badd
+        | Lexer.MINUSEQ -> Ast.Bsub
+        | Lexer.STAREQ -> Ast.Bmul
+        | _ -> Ast.Bdiv
+      in
+      advance st;
+      let rhs = parse_expr st in
+      { Ast.sdesc = Ast.Sop_assign (op, lhs, rhs); spos }
+    | _ -> { Ast.sdesc = Ast.Sexpr lhs; spos }
+  end
+
+and parse_block_or_stmt st : Ast.stmt list =
+  if peek st = Lexer.LBRACE then begin
+    advance st;
+    parse_stmts_until_rbrace st
+  end
+  else [ parse_stmt st ]
+
+and parse_stmts_until_rbrace st =
+  let acc = ref [] in
+  while peek st <> Lexer.RBRACE do
+    if peek st = Lexer.EOF then error st "unexpected end of file in block";
+    acc := parse_stmt st :: !acc
+  done;
+  advance st;
+  List.rev !acc
+
+(* --- top level --- *)
+
+let parse_decl st : Ast.decl =
+  let pos = cur_pos st in
+  if peek st = Lexer.KW_STRUCT && peek2 st <> Lexer.EOF
+     && (match st.toks with
+        | _ :: _ :: { tok = Lexer.LBRACE; _ } :: _ -> true
+        | _ -> false)
+  then begin
+    (* struct definition *)
+    advance st;
+    let name = expect_ident st in
+    expect st Lexer.LBRACE;
+    let fields = ref [] in
+    while peek st <> Lexer.RBRACE do
+      let base = parse_base_type st in
+      let ty = parse_stars st base in
+      let fname = expect_ident st in
+      let ty = parse_array_suffix st ty in
+      expect st Lexer.SEMI;
+      fields := (ty, fname) :: !fields
+    done;
+    advance st;
+    expect st Lexer.SEMI;
+    Ast.Dstruct { sname = name; sfields = List.rev !fields; spos = pos }
+  end
+  else begin
+    let base = parse_base_type st in
+    let ty = parse_stars st base in
+    let name = expect_ident st in
+    if peek st = Lexer.LPAREN then begin
+      (* function *)
+      advance st;
+      let formals = ref [] in
+      if peek st <> Lexer.RPAREN then begin
+        let parse_formal () =
+          let base = parse_base_type st in
+          let ty = parse_stars st base in
+          let fname = expect_ident st in
+          (ty, fname)
+        in
+        formals := [ parse_formal () ];
+        while peek st = Lexer.COMMA do
+          advance st;
+          formals := parse_formal () :: !formals
+        done
+      end;
+      expect st Lexer.RPAREN;
+      expect st Lexer.LBRACE;
+      let body = parse_stmts_until_rbrace st in
+      Ast.Dfunc
+        { fname = name; fret = ty; fformals = List.rev !formals; fbody = body;
+          fpos = pos }
+    end
+    else begin
+      (* global variable *)
+      let ty = parse_array_suffix st ty in
+      let init =
+        if peek st = Lexer.EQ then begin
+          advance st;
+          if peek st = Lexer.LBRACE then begin
+            advance st;
+            let elts = ref [] in
+            if peek st <> Lexer.RBRACE then begin
+              elts := [ parse_expr st ];
+              while peek st = Lexer.COMMA do
+                advance st;
+                elts := parse_expr st :: !elts
+              done
+            end;
+            expect st Lexer.RBRACE;
+            Some (Ast.Ilist (List.rev !elts))
+          end
+          else Some (Ast.Iscalar (parse_expr st))
+        end
+        else None
+      in
+      expect st Lexer.SEMI;
+      Ast.Dglobal { gty = ty; gname = name; ginit = init; gpos = pos }
+    end
+  end
+
+let parse_program (src : string) : Ast.program =
+  let st = { toks = Lexer.tokenize src } in
+  let decls = ref [] in
+  while peek st <> Lexer.EOF do
+    decls := parse_decl st :: !decls
+  done;
+  List.rev !decls

@@ -1,0 +1,64 @@
+(* Struct layout: every scalar field (int, double, pointer) occupies one
+   8-byte cell; nested structs and in-struct arrays are laid out inline. *)
+
+type field = { f_name : string; f_ty : Ast.ty; f_offset : int }
+
+type layout = { s_name : string; s_fields : field list; s_size : int }
+
+type t = (string, layout) Hashtbl.t
+
+exception Type_error of string * Ast.pos
+
+let terror pos fmt = Fmt.kstr (fun s -> raise (Type_error (s, pos))) fmt
+
+let create () : t = Hashtbl.create 16
+
+let find (env : t) pos name =
+  match Hashtbl.find_opt env name with
+  | Some l -> l
+  | None -> terror pos "unknown struct %s" name
+
+let rec sizeof (env : t) pos (ty : Ast.ty) =
+  match ty with
+  | Ast.Tint | Ast.Tdouble | Ast.Tptr _ | Ast.Tany_ptr -> 8
+  | Ast.Tarr (elt, n) -> n * sizeof env pos elt
+  | Ast.Tstruct name -> (find env pos name).s_size
+  | Ast.Tvoid -> terror pos "void has no size"
+
+let add (env : t) (decl : Ast.struct_decl) =
+  if Hashtbl.mem env decl.Ast.sname then
+    terror decl.Ast.spos "duplicate struct %s" decl.Ast.sname;
+  let offset = ref 0 in
+  let fields =
+    List.map
+      (fun (ty, name) ->
+        let f = { f_name = name; f_ty = ty; f_offset = !offset } in
+        offset := !offset + sizeof env decl.Ast.spos ty;
+        f)
+      decl.Ast.sfields
+  in
+  (* reject duplicate field names *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seen f.f_name then
+        terror decl.Ast.spos "duplicate field %s in struct %s" f.f_name
+          decl.Ast.sname;
+      Hashtbl.replace seen f.f_name ())
+    fields;
+  Hashtbl.replace env decl.Ast.sname
+    { s_name = decl.Ast.sname; s_fields = fields; s_size = !offset }
+
+let field (env : t) pos struct_name field_name =
+  let l = find env pos struct_name in
+  match List.find_opt (fun f -> f.f_name = field_name) l.s_fields with
+  | Some f -> f
+  | None -> terror pos "struct %s has no field %s" struct_name field_name
+
+(* The machine cell type backing a scalar MiniC type. *)
+let mty_of_ty pos (ty : Ast.ty) : Srp_ir.Mem_ty.t =
+  match ty with
+  | Ast.Tint | Ast.Tptr _ | Ast.Tany_ptr -> Srp_ir.Mem_ty.I64
+  | Ast.Tdouble -> Srp_ir.Mem_ty.F64
+  | Ast.Tarr _ | Ast.Tstruct _ | Ast.Tvoid ->
+    terror pos "expected a scalar type, got %a" Ast.pp_ty ty

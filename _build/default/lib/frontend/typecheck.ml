@@ -1,0 +1,382 @@
+(* Elaboration: name resolution (scoped locals get unique names), type
+   checking, implicit int<->double conversions, and pointer-arithmetic
+   typing.  Produces the [Typed_ast] consumed by [Lower]. *)
+
+exception Type_error = Struct_env.Type_error
+
+let terror = Struct_env.terror
+
+type var_info = { v_uname : string; v_ty : Ast.ty }
+
+type fsig = { fs_ret : Ast.ty; fs_formals : Ast.ty list }
+
+type env = {
+  structs : Struct_env.t;
+  globals : (string, Ast.ty) Hashtbl.t;
+  funcs : (string, fsig) Hashtbl.t;
+  mutable scopes : (string, var_info) Hashtbl.t list;
+  mutable counter : int;
+  mutable ret_ty : Ast.ty;
+}
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env =
+  match env.scopes with
+  | _ :: rest -> env.scopes <- rest
+  | [] -> assert false
+
+let declare_local env pos name ty =
+  match env.scopes with
+  | [] -> assert false
+  | scope :: _ ->
+    if Hashtbl.mem scope name then
+      terror pos "duplicate variable %s in the same scope" name;
+    env.counter <- env.counter + 1;
+    let uname =
+      if env.counter = 0 then name else Fmt.str "%s.%d" name env.counter
+    in
+    let info = { v_uname = uname; v_ty = ty } in
+    Hashtbl.replace scope name info;
+    info
+
+let lookup_var env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+      match Hashtbl.find_opt scope name with
+      | Some info -> Some info
+      | None -> go rest)
+  in
+  match go env.scopes with
+  | Some info -> Some info
+  | None -> (
+    match Hashtbl.find_opt env.globals name with
+    | Some ty -> Some { v_uname = name; v_ty = ty }
+    | None -> None)
+
+(* --- type predicates and coercions --- *)
+
+let is_ptr = function Ast.Tptr _ | Ast.Tany_ptr -> true | _ -> false
+
+let is_arith = function Ast.Tint | Ast.Tdouble -> true | _ -> false
+
+let elt_of_ptr pos = function
+  | Ast.Tptr t -> t
+  | Ast.Tany_ptr -> terror pos "cannot dereference a void* (assign it to a typed pointer first)"
+  | t -> terror pos "expected a pointer, got %a" Ast.pp_ty t
+
+(* Insert implicit conversion of [e] to [want] if needed. *)
+let coerce pos (e : Typed_ast.texpr) (want : Ast.ty) : Typed_ast.texpr =
+  let open Typed_ast in
+  match e.tty, want with
+  | a, b when a = b -> e
+  | Ast.Tint, Ast.Tdouble -> { tdesc = Tcast_i2f e; tty = Ast.Tdouble; tpos = e.tpos }
+  | Ast.Tdouble, Ast.Tint -> { tdesc = Tcast_f2i e; tty = Ast.Tint; tpos = e.tpos }
+  | Ast.Tany_ptr, Ast.Tptr _ -> { e with tty = want }
+  | Ast.Tptr _, Ast.Tany_ptr -> { e with tty = want }
+  (* integer literal 0 (or any int) as null pointer *)
+  | Ast.Tint, Ast.Tptr _ -> { e with tty = want }
+  | Ast.Tarr (elt, _), Ast.Tptr elt' when elt = elt' -> e (* decay handled in lowering *)
+  | a, b -> terror pos "type mismatch: cannot use %a where %a is expected" Ast.pp_ty a Ast.pp_ty b
+
+(* --- expressions --- *)
+
+let rec check_expr env (e : Ast.expr) : Typed_ast.texpr =
+  let open Typed_ast in
+  let pos = e.Ast.pos in
+  let mk tdesc tty = { tdesc; tty; tpos = pos } in
+  match e.Ast.desc with
+  | Ast.Eint v -> mk (Tint_lit v) Ast.Tint
+  | Ast.Efloat v -> mk (Tfloat_lit v) Ast.Tdouble
+  | Ast.Eident name -> (
+    match lookup_var env name with
+    | Some { v_uname; v_ty } -> mk (Tvar v_uname) v_ty
+    | None -> terror pos "unknown variable %s" name)
+  | Ast.Eun (op, a) -> (
+    let ta = check_expr env a in
+    match op with
+    | Ast.Uneg ->
+      if not (is_arith ta.tty) then
+        terror pos "operand of unary - must be arithmetic";
+      mk (Tun (op, ta)) ta.tty
+    | Ast.Unot ->
+      (* !e is defined on ints and pointers, yields int 0/1 *)
+      if not (is_arith ta.tty || is_ptr ta.tty) then
+        terror pos "operand of ! must be scalar";
+      mk (Tun (op, ta)) Ast.Tint
+    | Ast.Ubnot ->
+      if ta.tty <> Ast.Tint then terror pos "operand of ~ must be int";
+      mk (Tun (op, ta)) Ast.Tint)
+  | Ast.Ederef a ->
+    let ta = check_expr env a in
+    let ta = decay ta in
+    mk (Tderef ta) (elt_of_ptr pos ta.tty)
+  | Ast.Eaddr a ->
+    let ta = check_expr env a in
+    check_lvalue pos ta;
+    mk (Taddr ta) (Ast.Tptr ta.tty)
+  | Ast.Eindex (a, i) ->
+    let ta = check_expr env a in
+    let ti = coerce pos (check_expr env i) Ast.Tint in
+    let elt =
+      match ta.tty with
+      | Ast.Tarr (elt, _) -> elt
+      | Ast.Tptr elt -> elt
+      | t -> terror pos "cannot index a %a" Ast.pp_ty t
+    in
+    mk (Tindex (ta, ti)) elt
+  | Ast.Efield (a, fname) -> (
+    let ta = check_expr env a in
+    match ta.tty with
+    | Ast.Tstruct sname ->
+      let f = Struct_env.field env.structs pos sname fname in
+      mk (Tfield (ta, f)) f.Struct_env.f_ty
+    | t -> terror pos "field access on non-struct %a" Ast.pp_ty t)
+  | Ast.Earrow (a, fname) -> (
+    let ta = decay (check_expr env a) in
+    match ta.tty with
+    | Ast.Tptr (Ast.Tstruct sname) ->
+      let f = Struct_env.field env.structs pos sname fname in
+      mk (Tarrow (ta, f)) f.Struct_env.f_ty
+    | t -> terror pos "-> on non-struct-pointer %a" Ast.pp_ty t)
+  | Ast.Ecall (name, args) -> check_call env pos name args
+  | Ast.Econd (c, a, b) ->
+    let tc = check_scalar env c in
+    let ta = check_expr env a and tb = check_expr env b in
+    let ta, tb, ty = unify_arith pos ta tb in
+    mk (Tcond (tc, ta, tb)) ty
+  | Ast.Ebin (op, a, b) -> check_binop env pos op a b
+
+(* Array-to-pointer decay for value contexts. *)
+and decay (e : Typed_ast.texpr) : Typed_ast.texpr =
+  match e.Typed_ast.tty with
+  | Ast.Tarr (elt, _) -> { e with Typed_ast.tty = Ast.Tptr elt }
+  | _ -> e
+
+and check_scalar env e =
+  let te = decay (check_expr env e) in
+  if not (is_arith te.Typed_ast.tty || is_ptr te.Typed_ast.tty) then
+    terror e.Ast.pos "expected a scalar expression";
+  te
+
+(* Make both sides the same arithmetic (or pointer) type. *)
+and unify_arith pos (a : Typed_ast.texpr) (b : Typed_ast.texpr) =
+  let a = decay a and b = decay b in
+  match a.Typed_ast.tty, b.Typed_ast.tty with
+  | Ast.Tint, Ast.Tint -> a, b, Ast.Tint
+  | Ast.Tdouble, Ast.Tdouble -> a, b, Ast.Tdouble
+  | Ast.Tint, Ast.Tdouble -> coerce pos a Ast.Tdouble, b, Ast.Tdouble
+  | Ast.Tdouble, Ast.Tint -> a, coerce pos b Ast.Tdouble, Ast.Tdouble
+  | (Ast.Tptr _ | Ast.Tany_ptr), Ast.Tint -> a, { b with Typed_ast.tty = a.Typed_ast.tty }, a.Typed_ast.tty
+  | Ast.Tint, (Ast.Tptr _ | Ast.Tany_ptr) -> { a with Typed_ast.tty = b.Typed_ast.tty }, b, b.Typed_ast.tty
+  | (Ast.Tptr _ | Ast.Tany_ptr), (Ast.Tptr _ | Ast.Tany_ptr) -> a, b, a.Typed_ast.tty
+  | ta, tb -> terror pos "cannot combine %a and %a" Ast.pp_ty ta Ast.pp_ty tb
+
+and check_binop env pos op a b : Typed_ast.texpr =
+  let open Typed_ast in
+  let mk tdesc tty = { tdesc; tty; tpos = pos } in
+  match op with
+  | Ast.Bland | Ast.Blor ->
+    let ta = check_scalar env a and tb = check_scalar env b in
+    mk (Tbin (op, ta, tb)) Ast.Tint
+  | Ast.Beq | Ast.Bne | Ast.Blt | Ast.Ble | Ast.Bgt | Ast.Bge ->
+    let ta = check_expr env a and tb = check_expr env b in
+    let ta, tb, _ = unify_arith pos ta tb in
+    mk (Tbin (op, ta, tb)) Ast.Tint
+  | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Bshl | Ast.Bshr | Ast.Brem ->
+    let ta = coerce pos (check_expr env a) Ast.Tint in
+    let tb = coerce pos (check_expr env b) Ast.Tint in
+    mk (Tbin (op, ta, tb)) Ast.Tint
+  | Ast.Badd | Ast.Bsub | Ast.Bmul | Ast.Bdiv ->
+    let ta = decay (check_expr env a) and tb = decay (check_expr env b) in
+    (* pointer arithmetic: ptr +/- int *)
+    (match ta.tty, tb.tty, op with
+    | Ast.Tptr _, Ast.Tint, (Ast.Badd | Ast.Bsub) -> mk (Tbin (op, ta, tb)) ta.tty
+    | Ast.Tint, Ast.Tptr _, Ast.Badd -> mk (Tbin (op, tb, ta)) tb.tty
+    | _ ->
+      let ta, tb, ty = unify_arith pos ta tb in
+      if not (is_arith ty) then
+        terror pos "arithmetic on non-arithmetic types";
+      mk (Tbin (op, ta, tb)) ty)
+
+and check_call env pos name args : Typed_ast.texpr =
+  let open Typed_ast in
+  let targs = List.map (fun a -> decay (check_expr env a)) args in
+  let mk tdesc tty = { tdesc; tty; tpos = pos } in
+  match name with
+  | "print_int" -> (
+    match targs with
+    | [ a ] -> mk (Tcall (name, [ coerce pos a Ast.Tint ])) Ast.Tvoid
+    | _ -> terror pos "print_int expects 1 argument")
+  | "print_float" -> (
+    match targs with
+    | [ a ] -> mk (Tcall (name, [ coerce pos a Ast.Tdouble ])) Ast.Tvoid
+    | _ -> terror pos "print_float expects 1 argument")
+  | "malloc" -> (
+    match targs with
+    | [ a ] -> mk (Tcall (name, [ coerce pos a Ast.Tint ])) Ast.Tany_ptr
+    | _ -> terror pos "malloc expects 1 argument")
+  | _ -> (
+    match Hashtbl.find_opt env.funcs name with
+    | None -> terror pos "unknown function %s" name
+    | Some { fs_ret; fs_formals } ->
+      if List.length fs_formals <> List.length targs then
+        terror pos "%s expects %d arguments, got %d" name
+          (List.length fs_formals) (List.length targs);
+      let targs = List.map2 (fun a ty -> coerce pos a ty) targs fs_formals in
+      mk (Tcall (name, targs)) fs_ret)
+
+and check_lvalue pos (e : Typed_ast.texpr) =
+  let open Typed_ast in
+  match e.tdesc with
+  | Tvar _ | Tderef _ | Tindex _ | Tfield _ | Tarrow _ -> ()
+  | _ -> terror pos "expression is not an lvalue"
+
+(* --- statements --- *)
+
+let rec check_stmt env (s : Ast.stmt) : Typed_ast.tstmt =
+  let pos = s.Ast.spos in
+  match s.Ast.sdesc with
+  | Ast.Sdecl (ty, name, init) ->
+    (match ty with
+    | Ast.Tvoid -> terror pos "cannot declare a void variable"
+    | _ -> ());
+    let tinit =
+      Option.map (fun e -> check_expr env e) init
+    in
+    let info = declare_local env pos name ty in
+    let tinit =
+      Option.map
+        (fun (te : Typed_ast.texpr) ->
+          if is_arith ty || is_ptr ty then coerce pos (decay te) ty
+          else terror pos "aggregate initialization is not supported for locals")
+        tinit
+    in
+    Typed_ast.TSdecl (ty, info.v_uname, tinit)
+  | Ast.Sassign (lhs, rhs) ->
+    let tl = check_expr env lhs in
+    check_lvalue pos tl;
+    let tr = check_expr env rhs in
+    let tr =
+      if is_arith tl.Typed_ast.tty || is_ptr tl.Typed_ast.tty then
+        coerce pos (decay tr) tl.Typed_ast.tty
+      else terror pos "cannot assign aggregates"
+    in
+    Typed_ast.TSassign (tl, tr)
+  | Ast.Sop_assign (op, lhs, rhs) ->
+    (* Desugar [lv op= e] to [lv = lv op e]; lowering evaluates the lvalue
+       address twice, matching C's once-evaluation only for simple lvalues,
+       which is all our kernels use. *)
+    let s' = { s with Ast.sdesc = Ast.Sassign (lhs, { Ast.desc = Ast.Ebin (op, lhs, rhs); pos }) } in
+    check_stmt env s'
+  | Ast.Sexpr e ->
+    let te = check_expr env e in
+    Typed_ast.TSexpr te
+  | Ast.Sif (c, t, f) ->
+    let tc = check_scalar env c in
+    let tt = check_block env t in
+    let tf = check_block env f in
+    Typed_ast.TSif (tc, tt, tf)
+  | Ast.Swhile (c, body) ->
+    let tc = check_scalar env c in
+    Typed_ast.TSwhile (tc, check_block env body)
+  | Ast.Sdo (body, c) ->
+    let tbody = check_block env body in
+    let tc = check_scalar env c in
+    Typed_ast.TSdo (tbody, tc)
+  | Ast.Sfor (init, cond, step, body) ->
+    (* Desugar into a while loop inside a fresh scope. *)
+    push_scope env;
+    let tinit = Option.map (check_stmt env) init in
+    let tcond =
+      match cond with
+      | Some c -> check_scalar env c
+      | None -> { Typed_ast.tdesc = Typed_ast.Tint_lit 1L; tty = Ast.Tint; tpos = pos }
+    in
+    let tbody = check_block env body in
+    let tstep = Option.map (check_stmt env) step in
+    pop_scope env;
+    let loop_body = tbody @ Option.to_list tstep in
+    let w = Typed_ast.TSwhile (tcond, loop_body) in
+    Typed_ast.TSblock (Option.to_list tinit @ [ w ])
+  | Ast.Sreturn e -> (
+    match e, env.ret_ty with
+    | None, Ast.Tvoid -> Typed_ast.TSreturn None
+    | None, t -> terror pos "missing return value (expected %a)" Ast.pp_ty t
+    | Some _, Ast.Tvoid -> terror pos "void function returns a value"
+    | Some e, t ->
+      let te = coerce pos (decay (check_expr env e)) t in
+      Typed_ast.TSreturn (Some te))
+  | Ast.Sbreak -> Typed_ast.TSbreak
+  | Ast.Scontinue -> Typed_ast.TScontinue
+  | Ast.Sblock body -> Typed_ast.TSblock (check_block env body)
+
+and check_block env stmts =
+  push_scope env;
+  let r = List.map (check_stmt env) stmts in
+  pop_scope env;
+  r
+
+(* --- program --- *)
+
+let check_program (decls : Ast.program) : Typed_ast.tprogram =
+  let structs = Struct_env.create () in
+  let globals = Hashtbl.create 16 in
+  let funcs = Hashtbl.create 16 in
+  let env = { structs; globals; funcs; scopes = []; counter = 0; ret_ty = Ast.Tvoid } in
+  (* pass 1: collect structs, global types, function signatures *)
+  List.iter
+    (function
+      | Ast.Dstruct sd -> Struct_env.add structs sd
+      | Ast.Dglobal g ->
+        if Hashtbl.mem globals g.Ast.gname then
+          terror g.Ast.gpos "duplicate global %s" g.Ast.gname;
+        ignore (Struct_env.sizeof structs g.Ast.gpos g.Ast.gty);
+        Hashtbl.replace globals g.Ast.gname g.Ast.gty
+      | Ast.Dfunc f ->
+        if Hashtbl.mem funcs f.Ast.fname || Srp_ir.Program.is_builtin f.Ast.fname then
+          terror f.Ast.fpos "duplicate function %s" f.Ast.fname;
+        Hashtbl.replace funcs f.Ast.fname
+          { fs_ret = f.Ast.fret; fs_formals = List.map fst f.Ast.fformals })
+    decls;
+  (* pass 2: check bodies and global initializers *)
+  let tglobals = ref [] and tfuncs = ref [] in
+  List.iter
+    (function
+      | Ast.Dstruct _ -> ()
+      | Ast.Dglobal g ->
+        let tinit =
+          match g.Ast.ginit with
+          | None -> None
+          | Some (Ast.Iscalar e) ->
+            env.scopes <- [ Hashtbl.create 1 ];
+            let te = check_expr env e in
+            env.scopes <- [];
+            Some (Typed_ast.TIscalar te)
+          | Some (Ast.Ilist es) ->
+            env.scopes <- [ Hashtbl.create 1 ];
+            let tes = List.map (check_expr env) es in
+            env.scopes <- [];
+            Some (Typed_ast.TIlist tes)
+        in
+        tglobals := { Typed_ast.tg_ty = g.Ast.gty; tg_name = g.Ast.gname; tg_init = tinit } :: !tglobals
+      | Ast.Dfunc f ->
+        env.ret_ty <- f.Ast.fret;
+        env.scopes <- [];
+        push_scope env;
+        let tformals =
+          List.map
+            (fun (ty, name) ->
+              let info = declare_local env f.Ast.fpos name ty in
+              (ty, info.v_uname))
+            f.Ast.fformals
+        in
+        let tbody = check_block env f.Ast.fbody in
+        pop_scope env;
+        tfuncs :=
+          { Typed_ast.tf_name = f.Ast.fname; tf_ret = f.Ast.fret;
+            tf_formals = tformals; tf_body = tbody }
+          :: !tfuncs)
+    decls;
+  { Typed_ast.tp_structs = structs; tp_globals = List.rev !tglobals;
+    tp_funcs = List.rev !tfuncs }

@@ -1,0 +1,54 @@
+(* Type-annotated AST produced by elaboration and consumed by lowering.
+   Every expression carries its MiniC type; lvalue/rvalue distinction is
+   resolved during lowering. *)
+
+type texpr = { tdesc : tdesc; tty : Ast.ty; tpos : Ast.pos }
+
+and tdesc =
+  | Tint_lit of int64
+  | Tfloat_lit of float
+  | Tvar of string (* resolved unique variable name *)
+  | Tbin of Ast.binop * texpr * texpr
+  | Tun of Ast.unop * texpr
+  | Tderef of texpr
+  | Taddr of texpr
+  | Tindex of texpr * texpr
+  | Tfield of texpr * Struct_env.field
+  | Tarrow of texpr * Struct_env.field
+  | Tcall of string * texpr list
+  | Tcond of texpr * texpr * texpr
+  | Tcast_i2f of texpr (* implicit int -> double *)
+  | Tcast_f2i of texpr (* implicit double -> int *)
+
+type tstmt =
+  | TSdecl of Ast.ty * string * texpr option (* unique name *)
+  | TSassign of texpr * texpr (* lvalue, rvalue *)
+  | TSexpr of texpr
+  | TSif of texpr * tstmt list * tstmt list
+  | TSwhile of texpr * tstmt list
+  | TSdo of tstmt list * texpr
+  | TSreturn of texpr option
+  | TSbreak
+  | TScontinue
+  | TSblock of tstmt list
+
+type tfunc = {
+  tf_name : string;
+  tf_ret : Ast.ty;
+  tf_formals : (Ast.ty * string) list;
+  tf_body : tstmt list;
+}
+
+type tglobal = {
+  tg_ty : Ast.ty;
+  tg_name : string;
+  tg_init : tinit option;
+}
+
+and tinit = TIscalar of texpr | TIlist of texpr list
+
+type tprogram = {
+  tp_structs : Struct_env.t;
+  tp_globals : tglobal list;
+  tp_funcs : tfunc list;
+}

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Array Block Fmt Func Label List Srp_support

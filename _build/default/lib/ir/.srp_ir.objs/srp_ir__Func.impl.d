@@ -1,0 +1,1 @@
+lib/ir/func.ml: Block Fmt Label List Mem_ty Srp_support Stdlib Symbol Temp

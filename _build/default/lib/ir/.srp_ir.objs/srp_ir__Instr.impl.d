@@ -1,0 +1,1 @@
+lib/ir/instr.ml: Fmt Label List Mem_ty Ops Site Srp_support Temp

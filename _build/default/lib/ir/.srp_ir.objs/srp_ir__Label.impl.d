@@ -1,0 +1,1 @@
+lib/ir/label.ml: Fmt Hashtbl Int Map Set Srp_support

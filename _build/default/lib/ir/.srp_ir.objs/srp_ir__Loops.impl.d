@@ -1,0 +1,1 @@
+lib/ir/loops.ml: Array Block Cfg Dominance Func Hashtbl Instr Int Label List

@@ -1,0 +1,1 @@
+lib/ir/mem_ty.mli: Format

@@ -1,0 +1,1 @@
+lib/ir/ops.ml: Fmt Mem_ty Symbol Temp

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Fmt Func Hashtbl List Site Stdlib Symbol

@@ -1,0 +1,1 @@
+lib/ir/temp.ml: Fmt Hashtbl Int Map Mem_ty Set Srp_support

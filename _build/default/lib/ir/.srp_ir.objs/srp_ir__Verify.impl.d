@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Block Cfg Dominance Fmt Func Instr Label List Program Temp

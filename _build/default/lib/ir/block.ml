@@ -1,0 +1,21 @@
+(* A basic block: straight-line instructions plus one terminator. *)
+
+type t = {
+  label : Label.t;
+  mutable instrs : Instr.instr list;
+  mutable term : Instr.terminator;
+}
+
+let create label = { label; instrs = []; term = Instr.Ret None }
+
+let label t = t.label
+
+let successors t = Instr.successors t.term
+
+let append t i = t.instrs <- t.instrs @ [ i ]
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v 2>%a:@,%a%a@]" Label.pp t.label
+    (fun ppf is ->
+      List.iter (fun i -> Fmt.pf ppf "%a@," Instr.pp i) is)
+    t.instrs Instr.pp_terminator t.term

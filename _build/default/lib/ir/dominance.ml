@@ -1,0 +1,119 @@
+(* Dominator tree and dominance frontiers, via the Cooper-Harvey-Kennedy
+   "simple, fast dominance" iterative algorithm.  The CFG's nodes are
+   already in reverse postorder, which is exactly the iteration order the
+   algorithm wants. *)
+
+type t = {
+  cfg : Cfg.t;
+  idom : int array; (* idom.(0) = 0 *)
+  children : int list array; (* dominator-tree children *)
+  frontier : int list array; (* dominance frontier per node *)
+  preorder : int array; (* dominator-tree preorder, for SSA rename walks *)
+  pre_index : int array; (* node -> position in [preorder] *)
+  post_index : int array; (* node -> dominator-tree postorder index *)
+}
+
+let compute cfg =
+  let n = Cfg.num_nodes cfg in
+  let undefined = -1 in
+  let idom = Array.make n undefined in
+  idom.(0) <- 0;
+  let intersect a b =
+    (* walk up the tree; RPO indices decrease toward the entry *)
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while !a > !b do
+        a := idom.(!a)
+      done;
+      while !b > !a do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let processed = List.filter (fun p -> idom.(p) <> undefined) (Cfg.preds cfg i) in
+      match processed with
+      | [] -> () (* can't happen on reachable-only CFGs after first sweep *)
+      | first :: rest ->
+        let new_idom = List.fold_left intersect first rest in
+        if idom.(i) <> new_idom then begin
+          idom.(i) <- new_idom;
+          changed := true
+        end
+    done
+  done;
+  let children = Array.make n [] in
+  for i = n - 1 downto 1 do
+    children.(idom.(i)) <- i :: children.(idom.(i))
+  done;
+  (* Dominance frontiers (Cooper-Harvey-Kennedy). *)
+  let frontier = Array.make n [] in
+  for i = 0 to n - 1 do
+    let preds = Cfg.preds cfg i in
+    if List.length preds >= 2 then
+      List.iter
+        (fun p ->
+          let runner = ref p in
+          while !runner <> idom.(i) do
+            if not (List.mem i frontier.(!runner)) then
+              frontier.(!runner) <- i :: frontier.(!runner);
+            runner := idom.(!runner)
+          done)
+        preds
+  done;
+  (* Dominator-tree preorder and postorder. *)
+  let preorder = Array.make n 0 in
+  let pre_index = Array.make n 0 in
+  let post_index = Array.make n 0 in
+  let pre_pos = ref 0 and post_pos = ref 0 in
+  let rec walk i =
+    preorder.(!pre_pos) <- i;
+    pre_index.(i) <- !pre_pos;
+    incr pre_pos;
+    List.iter walk children.(i);
+    post_index.(i) <- !post_pos;
+    incr post_pos
+  in
+  walk 0;
+  { cfg; idom; children; frontier; preorder; pre_index; post_index }
+
+let idom t i = if i = 0 then None else Some t.idom.(i)
+let children t i = t.children.(i)
+let frontier t i = t.frontier.(i)
+let preorder t = t.preorder
+
+(* [dominates t a b]: does a dominate b (reflexively)?  Constant-time via
+   the pre/post interval property of the dominator tree. *)
+let dominates t a b =
+  t.pre_index.(a) <= t.pre_index.(b) && t.post_index.(a) >= t.post_index.(b)
+
+let strictly_dominates t a b = a <> b && dominates t a b
+
+(* Iterated dominance frontier of a set of nodes — the phi insertion points
+   for a variable defined at those nodes. *)
+let iterated_frontier t nodes =
+  let in_df = Array.make (Array.length t.idom) false in
+  let worklist = Queue.create () in
+  List.iter (fun n -> Queue.add n worklist) nodes;
+  let on_work = Array.make (Array.length t.idom) false in
+  List.iter (fun n -> on_work.(n) <- true) nodes;
+  while not (Queue.is_empty worklist) do
+    let x = Queue.pop worklist in
+    List.iter
+      (fun y ->
+        if not in_df.(y) then begin
+          in_df.(y) <- true;
+          if not on_work.(y) then begin
+            on_work.(y) <- true;
+            Queue.add y worklist
+          end
+        end)
+      t.frontier.(x)
+  done;
+  let acc = ref [] in
+  Array.iteri (fun i b -> if b then acc := i :: !acc) in_df;
+  List.rev !acc

@@ -1,0 +1,29 @@
+(** Dominator tree and dominance frontiers over a {!Cfg.t}, via the
+    Cooper–Harvey–Kennedy iterative algorithm (the CFG's reverse-postorder
+    numbering is exactly the iteration order it wants). *)
+
+type t
+
+val compute : Cfg.t -> t
+
+(** Immediate dominator; [None] for the entry. *)
+val idom : t -> int -> int option
+
+(** Dominator-tree children. *)
+val children : t -> int -> int list
+
+(** Dominance frontier of a node. *)
+val frontier : t -> int -> int list
+
+(** Dominator-tree preorder (the SSA rename walk order). *)
+val preorder : t -> int array
+
+(** [dominates t a b]: does [a] dominate [b], reflexively?  Constant time
+    via pre/post intervals. *)
+val dominates : t -> int -> int -> bool
+
+val strictly_dominates : t -> int -> int -> bool
+
+(** Iterated dominance frontier of a node set — the phi insertion points
+    for a variable defined in those nodes. *)
+val iterated_frontier : t -> int list -> int list

@@ -1,0 +1,38 @@
+(* Basic-block labels, unique within a function. *)
+
+type t = { id : int; hint : string }
+
+let compare a b = Int.compare a.id b.id
+let equal a b = a.id = b.id
+let hash a = a.id
+let id t = t.id
+
+let pp ppf t =
+  if t.hint = "" then Fmt.pf ppf "L%d" t.id else Fmt.pf ppf "%s%d" t.hint t.id
+
+let to_string t = Fmt.str "%a" pp t
+
+module Gen = struct
+  type label = t
+  type t = Srp_support.Id_gen.t
+
+  let create () = Srp_support.Id_gen.create ()
+  let fresh ?(hint = "") g : label = { id = Srp_support.Id_gen.fresh g; hint }
+  let count g = Srp_support.Id_gen.count g
+end
+
+module Map = Map.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+  let equal = equal
+  let hash = hash
+end)

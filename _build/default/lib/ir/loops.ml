@@ -1,0 +1,90 @@
+(* Natural loop detection from back edges, plus preheader insertion.
+
+   The loop-invariant case of the paper (Figure 3: hoist a may-aliased load
+   out of a loop as ld.sa, keep a chk.a.nc inside) needs a preheader block
+   to place the hoisted load; SSAPRE achieves the same placement through
+   WillBeAvail insertion on the loop-entry edge, which requires that edge to
+   be non-critical.  [split_critical_edges] runs before SSA construction. *)
+
+type loop = {
+  header : int;
+  body : int list; (* node ids, header included *)
+  back_edges : (int * int) list; (* (tail, header) *)
+}
+
+(* Back edge t->h exists when h dominates t. *)
+let find cfg dom =
+  let n = Cfg.num_nodes cfg in
+  let loops = Hashtbl.create 8 in
+  for t = 0 to n - 1 do
+    List.iter
+      (fun h ->
+        if Dominance.dominates dom h t then begin
+          let cur =
+            try Hashtbl.find loops h with Not_found -> { header = h; body = []; back_edges = [] }
+          in
+          Hashtbl.replace loops h { cur with back_edges = (t, h) :: cur.back_edges }
+        end)
+      (Cfg.succs cfg t)
+  done;
+  (* Natural loop body: backward reachability from back-edge tails without
+     passing through the header. *)
+  let compute_body l =
+    let in_body = Array.make n false in
+    in_body.(l.header) <- true;
+    let stack = ref [] in
+    List.iter
+      (fun (t, _) ->
+        if not in_body.(t) then begin
+          in_body.(t) <- true;
+          stack := t :: !stack
+        end)
+      l.back_edges;
+    let rec drain () =
+      match !stack with
+      | [] -> ()
+      | x :: rest ->
+        stack := rest;
+        List.iter
+          (fun p ->
+            if not in_body.(p) then begin
+              in_body.(p) <- true;
+              stack := p :: !stack
+            end)
+          (Cfg.preds cfg x);
+        drain ()
+    in
+    drain ();
+    let body = ref [] in
+    for i = n - 1 downto 0 do
+      if in_body.(i) then body := i :: !body
+    done;
+    { l with body = !body }
+  in
+  Hashtbl.fold (fun _ l acc -> compute_body l :: acc) loops []
+  |> List.sort (fun a b -> Int.compare a.header b.header)
+
+(* An edge a->b is critical when a has several successors and b several
+   predecessors.  Splitting them gives SSAPRE unambiguous insertion points
+   (and gives the invala.e strategy a place to drop invalidations). *)
+let split_critical_edges func =
+  let cfg = Cfg.build func in
+  let n = Cfg.num_nodes cfg in
+  for i = 0 to n - 1 do
+    let b = Cfg.block cfg i in
+    match b.Block.term with
+    | Instr.Br { cond; ifso; ifnot } ->
+      let split target =
+        let t_idx = Cfg.index_of_label cfg target in
+        if List.length (Cfg.preds cfg t_idx) >= 2 then begin
+          let nb = Func.fresh_block ~hint:"split" func in
+          nb.Block.term <- Instr.Jump target;
+          Block.label nb
+        end
+        else target
+      in
+      let ifso' = split ifso in
+      let ifnot' = if Label.equal ifso ifnot then ifso' else split ifnot in
+      b.Block.term <- Instr.Br { cond; ifso = ifso'; ifnot = ifnot' }
+    | Instr.Jump _ | Instr.Ret _ -> ()
+  done

@@ -1,0 +1,19 @@
+(** Natural loop detection from back edges, and critical-edge splitting.
+
+    The loop-invariant case of the paper (Figure 3: hoist a may-aliased
+    load out of a loop as ld.sa, keep a check inside) relies on SSAPRE
+    insertion at the loop-entry edge, which requires that edge to be
+    non-critical — {!split_critical_edges} runs right after lowering. *)
+
+type loop = {
+  header : int;
+  body : int list;  (** node ids, header included *)
+  back_edges : (int * int) list;  (** (tail, header) *)
+}
+
+(** All natural loops of a CFG, sorted by header. *)
+val find : Cfg.t -> Dominance.t -> loop list
+
+(** Split every edge whose source has several successors and whose target
+    has several predecessors, in place. *)
+val split_critical_edges : Func.t -> unit

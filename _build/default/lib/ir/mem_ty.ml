@@ -1,0 +1,17 @@
+(* Machine-level memory cell types.  MiniC integers, pointers and booleans
+   are all 64-bit integers; doubles are 64-bit floats.  The distinction
+   matters to the machine model: on Itanium an integer L1 hit costs 2 cycles
+   while a floating-point load costs 9 (FP loads bypass L1), which is the
+   effect the paper leans on in section 4. *)
+
+type t = I64 | F64
+
+let size_bytes = function I64 -> 8 | F64 -> 8
+
+let equal (a : t) b = a = b
+
+let pp ppf = function
+  | I64 -> Fmt.string ppf "i64"
+  | F64 -> Fmt.string ppf "f64"
+
+let to_string = function I64 -> "i64" | F64 -> "f64"

@@ -1,0 +1,17 @@
+(** Machine-level memory cell types.
+
+    MiniC integers, pointers and booleans are all 64-bit integers; doubles
+    are 64-bit floats.  The distinction matters to the machine model: an
+    integer L1 hit costs 2 cycles while a floating-point load costs 9
+    (FP loads bypass L1 on Itanium) — the effect the paper leans on in
+    section 4 to explain why its FP benchmarks gain the most. *)
+
+type t = I64 | F64
+
+val size_bytes : t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

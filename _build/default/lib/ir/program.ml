@@ -1,0 +1,66 @@
+(* A whole program: global symbols, global initializers, functions, and the
+   shared id generators that keep ids dense across the program. *)
+
+type global_init =
+  | Init_zero
+  | Init_ints of int64 array
+  | Init_floats of float array
+
+type t = {
+  globals : (Symbol.t * global_init) list Stdlib.ref;
+  funcs : (string, Func.t) Hashtbl.t;
+  mutable func_order : string list;
+  sym_gen : Symbol.Gen.t;
+  site_gen : Site.Gen.t;
+}
+
+let create () =
+  { globals = Stdlib.ref []; funcs = Hashtbl.create 16; func_order = [];
+    sym_gen = Symbol.Gen.create (); site_gen = Site.Gen.create () }
+
+let add_global t s init = t.globals := (s, init) :: !(t.globals)
+let globals t = List.rev !(t.globals)
+
+(* Replace a global's initializer (workload input injection). *)
+let set_global_init t name init =
+  t.globals :=
+    List.map
+      (fun (s, old) -> if Symbol.name s = name then (s, init) else (s, old))
+      !(t.globals)
+
+let add_func t f =
+  let name = Func.name f in
+  if Hashtbl.mem t.funcs name then
+    Fmt.invalid_arg "Program.add_func: duplicate function %s" name;
+  Hashtbl.replace t.funcs name f;
+  t.func_order <- t.func_order @ [ name ]
+
+let find_func t name =
+  match Hashtbl.find_opt t.funcs name with
+  | Some f -> f
+  | None -> Fmt.invalid_arg "Program.find_func: no function %s" name
+
+let find_func_opt t name = Hashtbl.find_opt t.funcs name
+
+let funcs t = List.map (Hashtbl.find t.funcs) t.func_order
+
+let main t = find_func t "main"
+
+(* Builtins are handled by the interpreter and the machine runtime, not
+   defined as IR functions. *)
+let builtins = [ "print_int"; "print_float"; "malloc" ]
+
+let is_builtin name = List.mem name builtins
+
+let all_symbols t =
+  let gs = List.map fst (globals t) in
+  let locals =
+    List.concat_map (fun f -> Func.formals f @ Func.locals f) (funcs t)
+  in
+  gs @ locals
+
+let pp ppf t =
+  List.iter
+    (fun (s, _) -> Fmt.pf ppf "global %a (%d bytes)@." Symbol.pp s (Symbol.size_bytes s))
+    (globals t);
+  List.iter (fun f -> Fmt.pf ppf "%a@." Func.pp f) (funcs t)

@@ -1,0 +1,26 @@
+(* Stable ids for memory-operation occurrences (loads, stores, calls, heap
+   allocations).  Sites are assigned once during lowering and survive every
+   subsequent pass, which is what lets the alias profile collected by the IR
+   interpreter be joined back against chi/mu annotations in the compiler
+   (paper section 3.1), and lets the reports classify which load sites were
+   eliminated (Figure 9). *)
+
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+let to_int t = t
+let pp ppf t = Fmt.pf ppf "s%d" t
+
+module Gen = struct
+  type t = Srp_support.Id_gen.t
+
+  let create () = Srp_support.Id_gen.create ()
+  let fresh g : int = Srp_support.Id_gen.fresh g
+  let count g = Srp_support.Id_gen.count g
+end
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)
+module Tbl = Hashtbl.Make (Int)

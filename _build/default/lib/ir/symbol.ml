@@ -1,0 +1,65 @@
+(* Named memory objects: globals, function locals and formals.  Every user
+   variable lives in memory in the lowered IR — register promotion is
+   precisely the pass that moves (possibly aliased) symbols into temps, so
+   lowering must not pre-empt it.
+
+   [addr_taken] is set during lowering whenever [&x] (or array decay /
+   struct-field address arithmetic) escapes; only address-taken symbols can
+   be pointed to and therefore can carry chi/mu annotations. *)
+
+type storage = Global | Local | Formal
+
+type t = {
+  id : int;
+  name : string;
+  storage : storage;
+  mty : Mem_ty.t; (* element type for aggregates, cell type for scalars *)
+  size_bytes : int;
+  is_scalar : bool; (* a single 8-byte cell, promotable as a direct ref *)
+  mutable addr_taken : bool;
+}
+
+let compare a b = Int.compare a.id b.id
+let equal a b = a.id = b.id
+let hash a = a.id
+let id t = t.id
+let name t = t.name
+let storage t = t.storage
+let mty t = t.mty
+let size_bytes t = t.size_bytes
+let is_scalar t = t.is_scalar
+let is_global t = t.storage = Global
+let addr_taken t = t.addr_taken
+let mark_addr_taken t = t.addr_taken <- true
+
+let pp ppf t = Fmt.string ppf t.name
+let to_string t = t.name
+
+module Gen = struct
+  type symbol = t
+  type t = Srp_support.Id_gen.t
+
+  let create () = Srp_support.Id_gen.create ()
+
+  let fresh g ~name ~storage ~mty ~size_bytes ~is_scalar : symbol =
+    { id = Srp_support.Id_gen.fresh g;
+      name; storage; mty; size_bytes; is_scalar; addr_taken = false }
+
+  let count g = Srp_support.Id_gen.count g
+end
+
+module Map = Map.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+  let equal = equal
+  let hash = hash
+end)

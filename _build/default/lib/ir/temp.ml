@@ -1,0 +1,43 @@
+(* Expression temporaries.  Before register promotion every temp has exactly
+   one static definition (lowering guarantees it), so temps behave as SSA
+   values.  Promotion deliberately breaks this by inserting check statements
+   that redefine promotion temps; [Func.ssa_temps] records which regime a
+   function is in and the verifier checks accordingly. *)
+
+type t = { id : int; mty : Mem_ty.t }
+
+let compare a b = Int.compare a.id b.id
+let equal a b = a.id = b.id
+let hash a = a.id
+let id t = t.id
+let mty t = t.mty
+
+let pp ppf t =
+  Fmt.pf ppf "%%%d%s" t.id (match t.mty with Mem_ty.I64 -> "" | Mem_ty.F64 -> "f")
+
+let to_string t = Fmt.str "%a" pp t
+
+module Gen = struct
+  type temp = t
+  type t = Srp_support.Id_gen.t
+
+  let create () = Srp_support.Id_gen.create ()
+  let fresh g mty : temp = { id = Srp_support.Id_gen.fresh g; mty }
+  let count g = Srp_support.Id_gen.count g
+end
+
+module Map = Map.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,92 @@
+(* IR well-formedness checker.  Run after lowering and after every pass in
+   tests; failures raise [Ill_formed] with a description. *)
+
+exception Ill_formed of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Ill_formed s)) fmt
+
+let check_func (f : Func.t) =
+  (* Every terminator targets an existing block. *)
+  let labels = List.map Block.label (Func.blocks f) in
+  let mem l = List.exists (Label.equal l) labels in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          if not (mem s) then
+            fail "%s: block %s jumps to unknown label %s" (Func.name f)
+              (Label.to_string (Block.label b))
+              (Label.to_string s))
+        (Block.successors b))
+    (Func.blocks f);
+  (* Entry block exists and is first. *)
+  (match Func.blocks f with
+  | [] -> fail "%s: no blocks" (Func.name f)
+  | b :: _ ->
+    if not (Label.equal (Block.label b) (Func.entry f)) then
+      fail "%s: entry block is not first" (Func.name f));
+  let cfg = Cfg.build f in
+  let dom = Dominance.compute cfg in
+  (* Temp discipline. *)
+  let def_site = Temp.Tbl.create 64 in
+  let n = Cfg.num_nodes cfg in
+  for i = 0 to n - 1 do
+    let b = Cfg.block cfg i in
+    List.iteri
+      (fun pos ins ->
+        List.iter
+          (fun d ->
+            (match Temp.Tbl.find_opt def_site d with
+            | Some _ when f.Func.ssa_temps ->
+              fail "%s: temp %s multiply defined (ssa_temps)" (Func.name f)
+                (Temp.to_string d)
+            | _ -> ());
+            if not (Temp.Tbl.mem def_site d) then
+              Temp.Tbl.replace def_site d (i, pos))
+          (Instr.defs ins))
+      b.Block.instrs
+  done;
+  (* In the SSA-temp regime every use must be dominated by its def. *)
+  if f.Func.ssa_temps then
+    for i = 0 to n - 1 do
+      let b = Cfg.block cfg i in
+      let check_use pos t =
+        match Temp.Tbl.find_opt def_site t with
+        | None ->
+          fail "%s: temp %s used but never defined" (Func.name f)
+            (Temp.to_string t)
+        | Some (di, dpos) ->
+          let ok =
+            if di = i then dpos < pos
+            else Dominance.strictly_dominates dom di i
+          in
+          if not ok then
+            fail "%s: use of %s in %s not dominated by its definition"
+              (Func.name f) (Temp.to_string t)
+              (Label.to_string (Cfg.label cfg i))
+      in
+      List.iteri (fun pos ins -> List.iter (check_use pos) (Instr.uses ins)) b.Block.instrs;
+      List.iter (check_use max_int) (Instr.term_uses b.Block.term)
+    done
+
+let check_program (p : Program.t) =
+  (* Calls resolve to functions or builtins, with matching arity. *)
+  List.iter
+    (fun f ->
+      Func.iter_instrs
+        (fun _ ins ->
+          match ins with
+          | Instr.Call { callee; args; _ } ->
+            if not (Program.is_builtin callee) then begin
+              match Program.find_func_opt p callee with
+              | None -> fail "call to unknown function %s" callee
+              | Some g ->
+                let want = List.length (Func.formals g) in
+                let got = List.length args in
+                if want <> got then
+                  fail "call to %s: %d args, expected %d" callee got want
+            end
+          | _ -> ())
+        f;
+      check_func f)
+    (Program.funcs p)

@@ -1,0 +1,13 @@
+(** IR well-formedness checker: every branch targets an existing block, the
+    entry block is first, every temp has one definition and dominates its
+    uses while the function is in the SSA-temp regime
+    ({!Func.t}[.ssa_temps]), and calls resolve with matching arity.
+
+    Run after lowering (automatically by {!Srp_frontend.Lower.compile_source})
+    and after passes in tests. *)
+
+exception Ill_formed of string
+
+val check_func : Func.t -> unit
+
+val check_program : Program.t -> unit

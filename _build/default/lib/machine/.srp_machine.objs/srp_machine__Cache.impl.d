@@ -1,0 +1,1 @@
+lib/machine/cache.ml: Array Counters Float Int64

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Alat Array Buffer Cache Counters Fmt Hashtbl Insn Int64 List Option Rse Srp_alias Srp_ir Srp_profile Srp_target Sys

@@ -1,0 +1,132 @@
+(* The Advanced Load Address Table (paper section 2.1), modelled on the
+   Itanium implementation: 32 entries, 2-way set-associative on partial
+   physical address bits, tagged by the target register of the advanced
+   load.
+
+   Associativity: configurable.  The default is fully associative with
+   round-robin replacement — the Itanium 2 ALAT is a 32-entry fully
+   associative CAM; the original Itanium used 2 ways, which the ablation
+   benches can request via [ways] to observe set-conflict evictions.
+
+   Semantics:
+   - ld.a/ld.sa allocate (or refresh) an entry for (frame, register);
+   - every retired store probes the table and invalidates entries whose
+     *partial* address matches — partial tags make a store occasionally
+     invalidate an unrelated entry (a false collision: a spurious reload,
+     never an incorrect result);
+   - ld.c succeeds iff a valid entry for its register exists; on failure
+     the data is reloaded (.nc re-allocates the entry, .clr does not);
+   - invala.e removes the entry for one register.
+
+   One idealization vs hardware: entries are tagged by (call-frame uid,
+   register index) rather than physical register number, so register-stack
+   wraparound can never cause a stale cross-frame hit.  DESIGN.md records
+   this. *)
+
+type tag = { frame : int; reg : int (* int regs 2r, fp regs 2r+1 *) }
+
+type entry = {
+  mutable valid : bool;
+  mutable tag : tag;
+  mutable paddr : int;
+}
+
+type t = {
+  entries : entry array; (* n_sets * ways *)
+  n_sets : int;
+  ways : int;
+  mutable victim : int; (* round-robin replacement cursor *)
+  paddr_bits : int;
+}
+
+let create ?(size = 32) ?ways ?(paddr_bits = 12) () =
+  let ways = match ways with Some w -> w | None -> size in
+  let n_sets = max 1 (size / ways) in
+  { entries =
+      Array.init (n_sets * ways) (fun _ ->
+          { valid = false; tag = { frame = 0; reg = 0 }; paddr = 0 });
+    n_sets; ways; victim = 0; paddr_bits }
+
+let int_tag ~frame r = { frame; reg = 2 * r }
+let fp_tag ~frame r = { frame; reg = (2 * r) + 1 }
+
+let partial t (addr : int64) : int =
+  Int64.to_int (Int64.shift_right_logical addr 3) land ((1 lsl t.paddr_bits) - 1)
+
+let set_of t paddr = paddr mod t.n_sets
+
+let same_tag a b = a.frame = b.frame && a.reg = b.reg
+
+(* Remove any entry for [tag] (a register can have at most one). *)
+let remove t tag =
+  Array.iter
+    (fun e -> if e.valid && same_tag e.tag tag then e.valid <- false)
+    t.entries
+
+(* Allocate an entry for an advanced load.  Returns true if a valid entry
+   had to be evicted for capacity. *)
+let insert t tag (addr : int64) : bool =
+  remove t tag;
+  let paddr = partial t addr in
+  let set = set_of t paddr in
+  let base = set * t.ways in
+  (* free way? *)
+  let rec find_free i =
+    if i >= t.ways then None
+    else if not t.entries.(base + i).valid then Some (base + i)
+    else find_free (i + 1)
+  in
+  let slot, evicted =
+    match find_free 0 with
+    | Some s -> s, false
+    | None ->
+      let s = base + (t.victim mod t.ways) in
+      t.victim <- t.victim + 1;
+      s, true
+  in
+  let e = t.entries.(slot) in
+  e.valid <- true;
+  e.tag <- tag;
+  e.paddr <- paddr;
+  evicted
+
+(* Does a valid entry exist for [tag]?  [clear] removes it on a hit. *)
+let check t tag ~clear : bool =
+  let hit = ref false in
+  Array.iter
+    (fun e ->
+      if e.valid && same_tag e.tag tag then begin
+        hit := true;
+        if clear then e.valid <- false
+      end)
+    t.entries;
+  !hit
+
+(* A retired store: invalidate every entry whose partial address matches.
+   Returns the number of entries invalidated. *)
+let store_probe t (addr : int64) : int =
+  let paddr = partial t addr in
+  let n = ref 0 in
+  Array.iter
+    (fun e ->
+      if e.valid && e.paddr = paddr then begin
+        e.valid <- false;
+        incr n
+      end)
+    t.entries;
+  !n
+
+let invala_all t = Array.iter (fun e -> e.valid <- false) t.entries
+
+(* Drop every entry belonging to a returning call frame.  On real hardware
+   the dying frame's stacked registers are re-allocated and any ld.a to
+   the recycled register number overwrites the stale entry; purging at
+   return is the frame-uid-tagged equivalent (without it, dead entries
+   would squat in the table and evict live ones). *)
+let purge_frame t ~frame =
+  Array.iter
+    (fun e -> if e.valid && e.tag.frame = frame then e.valid <- false)
+    t.entries
+
+let occupancy t =
+  Array.fold_left (fun acc e -> if e.valid then acc + 1 else acc) 0 t.entries

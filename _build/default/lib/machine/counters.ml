@@ -1,0 +1,49 @@
+(* pfmon-style hardware counters.  Everything the paper's Figures 8-11
+   report is derived from these. *)
+
+type t = {
+  mutable cycles : int;
+  mutable instrs_retired : int;
+  mutable loads_retired : int; (* ld, ld.a, ld.sa, and ld.c reloads *)
+  mutable fp_loads_retired : int;
+  mutable stores_retired : int;
+  mutable checks_retired : int; (* ld.c executed *)
+  mutable check_failures : int; (* ld.c that missed and reloaded *)
+  mutable alat_inserts : int;
+  mutable alat_evictions : int; (* capacity evictions *)
+  mutable alat_store_invalidations : int;
+  mutable invala_retired : int;
+  mutable data_access_cycles : int; (* stall cycles waiting on memory results *)
+  mutable rse_cycles : int; (* register stack spill/fill traffic *)
+  mutable rse_spilled_regs : int;
+  mutable rse_filled_regs : int;
+  mutable branch_mispredicts : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_misses : int;
+  mutable max_stacked_regs : int;
+}
+
+let create () =
+  { cycles = 0; instrs_retired = 0; loads_retired = 0; fp_loads_retired = 0;
+    stores_retired = 0; checks_retired = 0; check_failures = 0;
+    alat_inserts = 0; alat_evictions = 0; alat_store_invalidations = 0;
+    invala_retired = 0; data_access_cycles = 0; rse_cycles = 0;
+    rse_spilled_regs = 0; rse_filled_regs = 0; branch_mispredicts = 0;
+    l1_hits = 0; l1_misses = 0; l2_misses = 0; max_stacked_regs = 0 }
+
+let pp ppf c =
+  Fmt.pf ppf
+    "@[<v>cycles                %d@,instructions retired  %d@,\
+     loads retired         %d@,fp loads retired      %d@,\
+     stores retired        %d@,checks retired        %d@,\
+     check failures        %d@,alat inserts          %d@,\
+     alat evictions        %d@,alat store invalid.   %d@,\
+     invala retired        %d@,data access cycles    %d@,\
+     rse cycles            %d@,branch mispredicts    %d@,\
+     L1 hits/misses        %d/%d@,L2 misses             %d@]"
+    c.cycles c.instrs_retired c.loads_retired c.fp_loads_retired
+    c.stores_retired c.checks_retired c.check_failures c.alat_inserts
+    c.alat_evictions c.alat_store_invalidations c.invala_retired
+    c.data_access_cycles c.rse_cycles c.branch_mispredicts c.l1_hits
+    c.l1_misses c.l2_misses

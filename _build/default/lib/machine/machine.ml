@@ -1,0 +1,496 @@
+(* The machine: functional execution of target code interleaved with an
+   in-order, 6-issue pipeline timing model (a 733 MHz Itanium in spirit).
+
+   Timing model: instructions issue in order; an issue group holds up to 6
+   instructions with at most 2 memory ops and 2 FP ops per cycle.  A
+   scoreboard of per-register ready times stalls issue until operands are
+   ready; stall cycles whose critical operand was produced by a memory
+   operation count as data-access cycles (the paper's second metric in
+   Figure 8).  Taken-branch redirects cost one bubble; mispredictions
+   (static backward-taken/forward-not-taken) cost a 6-cycle flush.
+
+   Functional model: memory is the same region-tracked store the IR
+   interpreter uses, so outputs are bit-comparable for differential
+   testing.  NaT bits give ld.sa its deferred-fault semantics; reading a
+   NaT register anywhere but a check is a simulator error (it would mean
+   the compiler consumed an unchecked speculative value). *)
+
+open Srp_target
+module Value = Srp_profile.Value
+module Memory = Srp_profile.Memory
+module Location = Srp_alias.Location
+
+exception Machine_error of string
+
+let merror fmt = Fmt.kstr (fun s -> raise (Machine_error s)) fmt
+
+exception Out_of_fuel
+
+type frame = {
+  uid : int;
+  func : Insn.func;
+  iregs : Value.t array;
+  fregs : Value.t array;
+  inat : bool array;
+  fnat : bool array;
+  iready : int array; (* scoreboard: cycle the register value is ready *)
+  fready : int array;
+  imem : bool array; (* producer was a memory op *)
+  fmem : bool array;
+}
+
+type t = {
+  prog : Insn.program;
+  mem : Memory.t;
+  globals : (int, int64) Hashtbl.t; (* symbol id -> address *)
+  alat : Alat.t;
+  cache : Cache.t;
+  rse : Rse.t;
+  c : Counters.t;
+  output : Buffer.t;
+  mutable cycle : int;
+  mutable group_slots : int; (* instructions issued in the current cycle *)
+  mutable group_mem : int;
+  mutable group_fp : int;
+  mutable frame_uid : int;
+  mutable fuel : int;
+  mutable sp : int64;
+}
+
+let issue_width = 6
+let mem_per_cycle = 2
+let fp_per_cycle = 2
+let mispredict_penalty = 6
+
+let create ?(fuel = 200_000_000) (prog : Insn.program) : t =
+  let mem = Memory.create () in
+  let globals = Hashtbl.create 16 in
+  List.iter
+    (fun (s, init) ->
+      let base =
+        Memory.alloc mem ~size:(Srp_ir.Symbol.size_bytes s) ~loc:(Location.Sym s)
+      in
+      Hashtbl.replace globals (Srp_ir.Symbol.id s) base;
+      (match init with
+      | Srp_ir.Program.Init_zero -> ()
+      | Srp_ir.Program.Init_ints vs ->
+        Array.iteri
+          (fun i v ->
+            Memory.store mem (Int64.add base (Int64.of_int (i * 8))) (Value.Vint v))
+          vs
+      | Srp_ir.Program.Init_floats vs ->
+        Array.iteri
+          (fun i v ->
+            Memory.store mem (Int64.add base (Int64.of_int (i * 8))) (Value.Vflt v))
+          vs))
+    prog.Insn.globals;
+  { prog; mem; globals; alat = Alat.create (); cache = Cache.create ();
+    rse = Rse.create (); c = Counters.create (); output = Buffer.create 256;
+    cycle = 0; group_slots = 0; group_mem = 0; group_fp = 0; frame_uid = 0;
+    fuel; sp = 0x4000_0000L }
+
+(* --- timing helpers --- *)
+
+let new_group m =
+  if m.group_slots > 0 then begin
+    m.cycle <- m.cycle + 1;
+    m.group_slots <- 0;
+    m.group_mem <- 0;
+    m.group_fp <- 0
+  end
+
+let advance_cycles m n =
+  if n > 0 then begin
+    new_group m;
+    m.cycle <- m.cycle + n
+  end
+
+(* Stall until [ready]; attribute to data access if [mem_src]. *)
+let wait_until m ~ready ~mem_src =
+  if ready > m.cycle then begin
+    new_group m;
+    if ready > m.cycle then begin
+      let stall = ready - m.cycle in
+      m.cycle <- ready;
+      if mem_src then
+        m.c.Counters.data_access_cycles <- m.c.Counters.data_access_cycles + stall
+    end
+  end
+
+(* Issue one instruction consuming [mem]/[fp] unit slots. *)
+let issue_slot m ~mem ~fp =
+  if
+    m.group_slots >= issue_width
+    || (mem && m.group_mem >= mem_per_cycle)
+    || (fp && m.group_fp >= fp_per_cycle)
+  then new_group m;
+  m.group_slots <- m.group_slots + 1;
+  if mem then m.group_mem <- m.group_mem + 1;
+  if fp then m.group_fp <- m.group_fp + 1;
+  m.c.Counters.instrs_retired <- m.c.Counters.instrs_retired + 1;
+  m.fuel <- m.fuel - 1;
+  if m.fuel <= 0 then raise Out_of_fuel
+
+(* --- register access --- *)
+
+let read_int fr m r : Value.t =
+  if fr.inat.(r) then merror "read of NaT integer register r%d" r;
+  wait_until m ~ready:fr.iready.(r) ~mem_src:fr.imem.(r);
+  fr.iregs.(r)
+
+let read_fp fr m r : Value.t =
+  if fr.fnat.(r) then merror "read of NaT float register f%d" r;
+  wait_until m ~ready:fr.fready.(r) ~mem_src:fr.fmem.(r);
+  fr.fregs.(r)
+
+let write_int fr r v ~ready ~mem =
+  fr.iregs.(r) <- v;
+  fr.inat.(r) <- false;
+  fr.iready.(r) <- ready;
+  fr.imem.(r) <- mem
+
+let write_fp fr r v ~ready ~mem =
+  fr.fregs.(r) <- v;
+  fr.fnat.(r) <- false;
+  fr.fready.(r) <- ready;
+  fr.fmem.(r) <- mem
+
+let read_src fr m (s : Insn.src) : Value.t =
+  match s with
+  | Insn.SReg r -> read_int fr m r
+  | Insn.SImm i -> Value.Vint i
+  | Insn.SFrg f -> read_fp fr m f
+  | Insn.SFim x -> Value.Vflt x
+
+let write_dest fr (d : Insn.dest) v ~ready ~mem =
+  match d with
+  | Insn.DInt r -> write_int fr r v ~ready ~mem
+  | Insn.DFlt f -> write_fp fr f v ~ready ~mem
+
+let src_is_fp = function Insn.SFrg _ | Insn.SFim _ -> true | Insn.SReg _ | Insn.SImm _ -> false
+
+(* --- ALU semantics --- *)
+
+let ialu_eval (op : Insn.ialu) a b : Value.t =
+  let open Srp_ir.Ops in
+  let irop =
+    match op with
+    | Insn.Aadd -> Add | Insn.Asub -> Sub | Insn.Amul -> Mul
+    | Insn.Adiv -> Div | Insn.Arem -> Rem | Insn.Aand -> And
+    | Insn.Aor -> Or | Insn.Axor -> Xor | Insn.Ashl -> Shl
+    | Insn.Ashr -> Shr | Insn.Acmp_eq -> Eq | Insn.Acmp_ne -> Ne
+    | Insn.Acmp_lt -> Lt | Insn.Acmp_le -> Le | Insn.Acmp_gt -> Gt
+    | Insn.Acmp_ge -> Ge
+  in
+  Value.binop irop a b
+
+let falu_eval (op : Insn.falu) a b : Value.t =
+  let open Srp_ir.Ops in
+  let irop =
+    match op with
+    | Insn.FAadd -> FAdd | Insn.FAsub -> FSub | Insn.FAmul -> FMul
+    | Insn.FAdiv -> FDiv
+  in
+  Value.binop irop a b
+
+let fcmp_eval (op : Insn.fcmp) a b : Value.t =
+  let open Srp_ir.Ops in
+  let irop =
+    match op with
+    | Insn.FCeq -> FEq | Insn.FCne -> FNe | Insn.FClt -> FLt
+    | Insn.FCle -> FLe | Insn.FCgt -> FGt | Insn.FCge -> FGe
+  in
+  Value.binop irop a b
+
+(* coerce a raw memory value to the view the destination register expects *)
+let coerce_loaded (d : Insn.dest) (v : Value.t) : Value.t =
+  match d, v with
+  | Insn.DFlt _, Value.Vint 0L -> Value.Vflt 0.0 (* zero-initialized cell *)
+  | Insn.DFlt _, Value.Vint bits -> Value.Vflt (Int64.float_of_bits bits)
+  | Insn.DInt _, Value.Vflt x -> Value.Vint (Int64.bits_of_float x)
+  | _, v -> v
+
+let alat_tag fr (d : Insn.dest) : Alat.tag =
+  match d with
+  | Insn.DInt r -> Alat.int_tag ~frame:fr.uid r
+  | Insn.DFlt f -> Alat.fp_tag ~frame:fr.uid f
+
+(* --- execution --- *)
+
+let rec exec_function m (func : Insn.func) (args : Value.t list) : Value.t option =
+  m.frame_uid <- m.frame_uid + 1;
+  let fr =
+    { uid = m.frame_uid; func;
+      iregs = Array.make (max 1 func.Insn.nregs) (Value.Vint 0L);
+      fregs = Array.make (max 1 func.Insn.nfregs) (Value.Vflt 0.0);
+      inat = Array.make (max 1 func.Insn.nregs) false;
+      fnat = Array.make (max 1 func.Insn.nfregs) false;
+      iready = Array.make (max 1 func.Insn.nregs) 0;
+      fready = Array.make (max 1 func.Insn.nfregs) 0;
+      imem = Array.make (max 1 func.Insn.nregs) false;
+      fmem = Array.make (max 1 func.Insn.nfregs) false }
+  in
+  (* stack frame memory: a descending stack whose addresses are reused
+     across calls, as on real hardware — ALAT partial tags of frame slots
+     must be stable, not sweep the tag space *)
+  let frame_size = ((func.Insn.frame_bytes + 7) / 8 * 8) + 8 in
+  let saved_sp = m.sp in
+  m.sp <- Int64.sub m.sp (Int64.of_int frame_size);
+  let frame_base =
+    Memory.alloc_at m.mem ~base:m.sp ~size:func.Insn.frame_bytes
+      ~loc:(Location.Heap (-1) (* anonymous stack region *))
+  in
+  fr.iregs.(Insn.sp) <- Value.Vint frame_base;
+  (* argument arrival *)
+  List.iteri
+    (fun i v ->
+      match List.nth_opt func.Insn.formals i with
+      | Some (_, Insn.DInt r) -> fr.iregs.(r) <- v
+      | Some (_, Insn.DFlt f) -> fr.fregs.(f) <- v
+      | None -> ())
+    args;
+  (* RSE charge for the new register frame *)
+  let spill = Rse.call m.rse m.c ~nregs:func.Insn.nregs in
+  advance_cycles m spill;
+  let result = exec_from m fr 0 in
+  let fill = Rse.ret m.rse m.c in
+  advance_cycles m fill;
+  Alat.purge_frame m.alat ~frame:fr.uid;
+  Memory.free m.mem frame_base;
+  m.sp <- saved_sp;
+  result
+
+and exec_from m fr pc : Value.t option =
+  if pc < 0 || pc >= Array.length fr.func.Insn.code then
+    merror "%s: pc %d out of range" fr.func.Insn.name pc;
+  let ins = fr.func.Insn.code.(pc) in
+  match ins with
+  | Insn.Movl { dst; imm } ->
+    issue_slot m ~mem:false ~fp:false;
+    write_int fr dst (Value.Vint imm) ~ready:(m.cycle + 1) ~mem:false;
+    exec_from m fr (pc + 1)
+  | Insn.Gaddr { dst; sym } ->
+    issue_slot m ~mem:false ~fp:false;
+    let addr =
+      match Hashtbl.find_opt m.globals sym with
+      | Some a -> a
+      | None -> merror "unknown global symbol id %d" sym
+    in
+    write_int fr dst (Value.Vint addr) ~ready:(m.cycle + 1) ~mem:false;
+    exec_from m fr (pc + 1)
+  | Insn.Mov { dst; src } ->
+    let v = read_src fr m src in
+    issue_slot m ~mem:false ~fp:(src_is_fp src);
+    write_dest fr dst (coerce_loaded dst v) ~ready:(m.cycle + 1) ~mem:false;
+    exec_from m fr (pc + 1)
+  | Insn.Alu { op; dst; a; b } ->
+    let va = read_src fr m a and vb = read_src fr m b in
+    issue_slot m ~mem:false ~fp:false;
+    let lat = match op with Insn.Amul -> 3 | Insn.Adiv | Insn.Arem -> 20 | _ -> 1 in
+    write_int fr dst (ialu_eval op va vb) ~ready:(m.cycle + lat) ~mem:false;
+    exec_from m fr (pc + 1)
+  | Insn.Falu { op; dst; a; b } ->
+    let va = read_src fr m a and vb = read_src fr m b in
+    issue_slot m ~mem:false ~fp:true;
+    let lat = match op with Insn.FAdiv -> 30 | _ -> 4 in
+    write_fp fr dst (falu_eval op va vb) ~ready:(m.cycle + lat) ~mem:false;
+    exec_from m fr (pc + 1)
+  | Insn.Fcmp { op; dst; a; b } ->
+    let va = read_src fr m a and vb = read_src fr m b in
+    issue_slot m ~mem:false ~fp:true;
+    write_int fr dst (fcmp_eval op va vb) ~ready:(m.cycle + 2) ~mem:false;
+    exec_from m fr (pc + 1)
+  | Insn.Itof { dst; src } ->
+    let v = read_src fr m src in
+    issue_slot m ~mem:false ~fp:true;
+    write_fp fr dst (Value.Vflt (Int64.to_float (Value.to_int v))) ~ready:(m.cycle + 4) ~mem:false;
+    exec_from m fr (pc + 1)
+  | Insn.Ftoi { dst; src } ->
+    let v = read_src fr m src in
+    issue_slot m ~mem:false ~fp:true;
+    write_int fr dst (Value.Vint (Int64.of_float (Value.to_flt v))) ~ready:(m.cycle + 4) ~mem:false;
+    exec_from m fr (pc + 1)
+  | Insn.Ld { kind; dst; base; site = _ } -> exec_load m fr pc kind dst base
+  | Insn.St { src; base; site = _ } ->
+    let v = read_src fr m src in
+    let a = Value.to_int (read_int fr m base) in
+    issue_slot m ~mem:true ~fp:false;
+    Memory.store m.mem a v;
+    Cache.store_touch m.cache a;
+    m.c.Counters.stores_retired <- m.c.Counters.stores_retired + 1;
+    let inv = Alat.store_probe m.alat a in
+    m.c.Counters.alat_store_invalidations <-
+      m.c.Counters.alat_store_invalidations + inv;
+    if inv > 0 && Sys.getenv_opt "SRP_TRACE_INV" <> None
+       && m.c.Counters.alat_store_invalidations < 40
+    then
+      Fmt.epr "[inv] store addr=0x%Lx loc=%a killed %d entries@." a
+        (Fmt.option Location.pp)
+        (Memory.location_of_addr m.mem a)
+        inv;
+    exec_from m fr (pc + 1)
+  | Insn.Chk_a { tag; recovery; site = _ } ->
+    issue_slot m ~mem:false ~fp:false;
+    m.c.Counters.checks_retired <- m.c.Counters.checks_retired + 1;
+    if Alat.check m.alat (alat_tag fr tag) ~clear:false then exec_from m fr (pc + 1)
+    else begin
+      (* branch to recovery: a light trap plus pipeline redirect *)
+      m.c.Counters.check_failures <- m.c.Counters.check_failures + 1;
+      advance_cycles m (mispredict_penalty + 10);
+      exec_from m fr recovery
+    end
+  | Insn.Invala_e { tag } ->
+    issue_slot m ~mem:false ~fp:false;
+    m.c.Counters.invala_retired <- m.c.Counters.invala_retired + 1;
+    Alat.remove m.alat (alat_tag fr tag);
+    exec_from m fr (pc + 1)
+  | Insn.Sel { dst; cond; if_true; if_false } ->
+    let vc = read_int fr m cond in
+    let vt = read_src fr m if_true and vf = read_src fr m if_false in
+    issue_slot m ~mem:false ~fp:false;
+    let v = if Value.truthy vc then vt else vf in
+    write_dest fr dst (coerce_loaded dst v) ~ready:(m.cycle + 1) ~mem:false;
+    exec_from m fr (pc + 1)
+  | Insn.Br { target } ->
+    issue_slot m ~mem:false ~fp:false;
+    new_group m; (* taken-branch redirect *)
+    exec_from m fr target
+  | Insn.Brc { cond; ifso; ifnot } ->
+    let vc = read_int fr m cond in
+    issue_slot m ~mem:false ~fp:false;
+    let taken = Value.truthy vc in
+    let target = if taken then ifso else ifnot in
+    (* static prediction: backward taken, forward not taken *)
+    let predicted_taken = ifso < pc in
+    if taken <> predicted_taken then begin
+      m.c.Counters.branch_mispredicts <- m.c.Counters.branch_mispredicts + 1;
+      advance_cycles m mispredict_penalty
+    end
+    else if taken then new_group m;
+    exec_from m fr target
+  | Insn.Call { callee; args; ret } -> (
+    let vargs = List.map (read_src fr m) args in
+    issue_slot m ~mem:false ~fp:false;
+    new_group m;
+    let g =
+      match Hashtbl.find_opt m.prog.Insn.funcs callee with
+      | Some g -> g
+      | None -> merror "call to unknown function %s" callee
+    in
+    let r = exec_function m g vargs in
+    new_group m;
+    (match ret, r with
+    | Some d, Some v -> write_dest fr d (coerce_loaded d v) ~ready:(m.cycle + 1) ~mem:false
+    | Some _, None -> merror "%s returned no value" callee
+    | None, _ -> ());
+    exec_from m fr (pc + 1))
+  | Insn.Ret { value } ->
+    let v = Option.map (read_src fr m) value in
+    issue_slot m ~mem:false ~fp:false;
+    new_group m;
+    v
+  | Insn.Alloc { dst; nbytes; site } ->
+    let n = Int64.to_int (Value.to_int (read_src fr m nbytes)) in
+    issue_slot m ~mem:false ~fp:false;
+    advance_cycles m 20; (* allocator runtime cost *)
+    let base = Memory.alloc m.mem ~size:(max 8 n) ~loc:(Location.Heap site) in
+    write_int fr dst (Value.Vint base) ~ready:(m.cycle + 1) ~mem:false;
+    exec_from m fr (pc + 1)
+  | Insn.Print { what; as_float } ->
+    let v = read_src fr m what in
+    issue_slot m ~mem:false ~fp:false;
+    if as_float then Buffer.add_string m.output (Fmt.str "%.6f\n" (Value.to_flt v))
+    else Buffer.add_string m.output (Fmt.str "%Ld\n" (Value.to_int v));
+    exec_from m fr (pc + 1)
+  | Insn.Nop ->
+    issue_slot m ~mem:false ~fp:false;
+    exec_from m fr (pc + 1)
+
+and exec_load m fr pc (kind : Insn.ld_kind) (dst : Insn.dest) base : Value.t option =
+  let dbg_site = match fr.func.Insn.code.(pc) with Insn.Ld { site; _ } -> site | _ -> -1 in
+  ignore dbg_site;
+  let fp = match dst with Insn.DFlt _ -> true | Insn.DInt _ -> false in
+  let a = Value.to_int (read_int fr m base) in
+  (* a check load is "processed like a no-op when the check is successful"
+     (paper section 1): it takes an issue slot but no memory unit; real
+     loads occupy one of the two memory slots *)
+  let is_check = match kind with Insn.K_ld_c _ -> true | _ -> false in
+  issue_slot m ~mem:(not is_check) ~fp:(fp && not is_check);
+  let tag = alat_tag fr dst in
+  let do_load () =
+    let lat = Cache.load_latency m.cache m.c ~fp a in
+    let v = coerce_loaded dst (Memory.load m.mem a) in
+    m.c.Counters.loads_retired <- m.c.Counters.loads_retired + 1;
+    if fp then m.c.Counters.fp_loads_retired <- m.c.Counters.fp_loads_retired + 1;
+    write_dest fr dst v ~ready:(m.cycle + lat) ~mem:true
+  in
+  (match kind with
+  | Insn.K_ld -> do_load ()
+  | Insn.K_ld_a ->
+    do_load ();
+    m.c.Counters.alat_inserts <- m.c.Counters.alat_inserts + 1;
+    if Sys.getenv_opt "SRP_TRACE_INV" <> None && m.c.Counters.alat_inserts < 40
+    then
+      Fmt.epr "[arm] %s ld.a addr=0x%Lx loc=%a@." fr.func.Insn.name a
+        (Fmt.option Location.pp)
+        (Memory.location_of_addr m.mem a);
+    if Alat.insert m.alat tag a then
+      m.c.Counters.alat_evictions <- m.c.Counters.alat_evictions + 1
+  | Insn.K_ld_sa -> (
+    (* control-speculative: defer faults with NaT, no ALAT entry on fault *)
+    match Memory.location_of_addr m.mem a with
+    | Some _ ->
+      do_load ();
+      m.c.Counters.alat_inserts <- m.c.Counters.alat_inserts + 1;
+      if Alat.insert m.alat tag a then
+        m.c.Counters.alat_evictions <- m.c.Counters.alat_evictions + 1
+    | None -> (
+      match dst with
+      | Insn.DInt r -> fr.inat.(r) <- true
+      | Insn.DFlt f -> fr.fnat.(f) <- true))
+  | Insn.K_ld_c { clear } ->
+    m.c.Counters.checks_retired <- m.c.Counters.checks_retired + 1;
+    if Alat.check m.alat tag ~clear then begin
+      (* hit: the register already holds valid data; zero-latency *)
+      (match dst with
+      | Insn.DInt r -> if fr.inat.(r) then merror "ld.c hit on NaT register"
+      | Insn.DFlt f -> if fr.fnat.(f) then merror "ld.c hit on NaT register")
+    end
+    else begin
+      m.c.Counters.check_failures <- m.c.Counters.check_failures + 1;
+      if Sys.getenv_opt "SRP_TRACE_INV" <> None && m.c.Counters.check_failures < 40
+      then
+        Fmt.epr "[miss] %s ld.c %a site=%d addr=0x%Lx loc=%a@." fr.func.Insn.name
+          Insn.pp_dest dst dbg_site a
+          (Fmt.option Location.pp)
+          (Memory.location_of_addr m.mem a);
+      do_load ();
+      if not clear then begin
+        m.c.Counters.alat_inserts <- m.c.Counters.alat_inserts + 1;
+        if Alat.insert m.alat tag a then
+          m.c.Counters.alat_evictions <- m.c.Counters.alat_evictions + 1
+      end
+    end);
+  exec_from m fr (pc + 1)
+
+(* --- entry points --- *)
+
+let run (m : t) : int64 =
+  let main =
+    match Hashtbl.find_opt m.prog.Insn.funcs "main" with
+    | Some f -> f
+    | None -> merror "no main function"
+  in
+  let r = exec_function m main [] in
+  new_group m;
+  m.c.Counters.cycles <- m.cycle;
+  match r with Some v -> Value.to_int v | None -> 0L
+
+let output m = Buffer.contents m.output
+let counters m = m.c
+
+(* Compile-and-run convenience used everywhere downstream. *)
+let run_program ?fuel (prog : Insn.program) : int64 * string * Counters.t =
+  let m = create ?fuel prog in
+  let code = run m in
+  (code, output m, counters m)

@@ -1,0 +1,37 @@
+(** The machine: functional execution of target code interleaved with an
+    in-order, 6-issue pipeline timing model (a 733 MHz Itanium in spirit).
+
+    - Issue groups hold up to 6 instructions with at most 2 memory ops and
+      2 FP ops per cycle; a register scoreboard stalls issue until operands
+      are ready, and stalls whose critical operand came from memory count
+      as data-access cycles (the paper's Figure 8 metric).
+    - ld.c checks issue as no-ops on a hit (paper section 1) and reload on
+      a miss; chk.a failures branch to their recovery routine with a trap
+      penalty (section 2.5).
+    - ld.sa defers faults via NaT bits; consuming an unchecked NaT value
+      raises {!Machine_error} — a compiler bug, not a program fault.
+    - Memory is the same region-tracked store as the IR interpreter's, so
+      outputs are bit-comparable for differential testing. *)
+
+exception Machine_error of string
+
+exception Out_of_fuel
+
+type t
+
+(** Load a target program: globals placed and initialized, counters zero.
+    [fuel] bounds retired instructions (default 200M). *)
+val create : ?fuel:int -> Srp_target.Insn.program -> t
+
+(** Execute [main]; returns its exit value.  Total cycles land in the
+    counters. *)
+val run : t -> int64
+
+(** Everything the program printed (print_int/print_float). *)
+val output : t -> string
+
+val counters : t -> Counters.t
+
+(** [run_program prog] = create + run; returns
+    (exit code, output, counters). *)
+val run_program : ?fuel:int -> Srp_target.Insn.program -> int64 * string * Counters.t

@@ -1,0 +1,20 @@
+(** Register Stack Engine model (paper Figure 11).
+
+    Every function allocates its integer register frame at the prologue;
+    96 physical stacked registers back the frames of the whole call stack.
+    Overflow spills the oldest frames to the backing store at one register
+    per cycle; a return that re-exposes a spilled frame fills it back.
+    The paper's observation — promotion widens frames slightly, so RSE
+    traffic can rise by tens of percent while remaining a vanishing
+    fraction of execution — reproduces through this model. *)
+
+type t
+
+val create : ?phys_total:int -> unit -> t
+
+(** Allocate a frame of [nregs] registers; returns spill cycles and
+    updates the counters. *)
+val call : t -> Counters.t -> nregs:int -> int
+
+(** Return from the innermost frame; returns fill cycles. *)
+val ret : t -> Counters.t -> int

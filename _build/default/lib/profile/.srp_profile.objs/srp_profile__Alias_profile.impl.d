@@ -1,0 +1,1 @@
+lib/profile/alias_profile.ml: Buffer Fmt Hashtbl List Site Srp_alias Srp_ir Srp_support String Symbol

@@ -1,0 +1,1 @@
+lib/profile/alias_profile.mli: Format Hashtbl Site Srp_alias Srp_ir Symbol

@@ -1,0 +1,1 @@
+lib/profile/interp.ml: Alias_profile Array Block Buffer Fmt Func Hashtbl Instr Int64 Label List Memory Ops Program Srp_alias Srp_ir Symbol Temp Value

@@ -1,0 +1,1 @@
+lib/profile/interp.mli: Alias_profile Program Srp_ir

@@ -1,0 +1,1 @@
+lib/profile/memory.ml: Hashtbl Int64 Map Mem_ty Option Srp_alias Srp_ir Value

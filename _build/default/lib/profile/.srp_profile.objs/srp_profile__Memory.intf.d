@@ -1,0 +1,1 @@
+lib/profile/memory.mli: Srp_alias Srp_ir Value

@@ -1,0 +1,1 @@
+lib/profile/value.ml: Fmt Int64 Srp_ir

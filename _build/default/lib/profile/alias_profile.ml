@@ -1,0 +1,132 @@
+(* The alias profile: for every memory-op site, the set of abstract
+   locations it actually touched at runtime, plus execution counts.
+
+   This is the feedback the speculative compiler consumes (paper section
+   3.1): a chi/mu on location L at site s is marked *speculative* when the
+   profile says s never touched L.  Serializable to a simple text format so
+   train-input profiles can be saved and replayed. *)
+
+open Srp_ir
+module Location = Srp_alias.Location
+
+type t = {
+  targets : Location.Set.t Site.Tbl.t;
+  counts : int Site.Tbl.t;
+  block_counts : (string * int, int) Hashtbl.t; (* (func, label id) -> executions *)
+}
+
+let create () =
+  { targets = Site.Tbl.create 64; counts = Site.Tbl.create 64;
+    block_counts = Hashtbl.create 64 }
+
+let record_block t ~func ~label_id =
+  let key = (func, label_id) in
+  let c = try Hashtbl.find t.block_counts key with Not_found -> 0 in
+  Hashtbl.replace t.block_counts key (c + 1)
+
+let block_count t ~func ~label_id =
+  try Hashtbl.find t.block_counts (func, label_id) with Not_found -> 0
+
+let record t site loc =
+  let cur =
+    match Site.Tbl.find_opt t.targets site with
+    | Some s -> s
+    | None -> Location.Set.empty
+  in
+  Site.Tbl.replace t.targets site (Location.Set.add loc cur);
+  let c = match Site.Tbl.find_opt t.counts site with Some c -> c | None -> 0 in
+  Site.Tbl.replace t.counts site (c + 1)
+
+(* Was [site] ever executed at all? *)
+let executed t site = Site.Tbl.mem t.counts site
+
+let count t site =
+  match Site.Tbl.find_opt t.counts site with Some c -> c | None -> 0
+
+let targets t site =
+  match Site.Tbl.find_opt t.targets site with
+  | Some s -> s
+  | None -> Location.Set.empty
+
+(* The speculation predicate: according to the profile, can the access at
+   [site] touch [loc]?  Sites never executed under the training input are
+   treated as "never touches anything", the aggressive choice the paper
+   makes (such chi become speculative; a mis-speculation check catches the
+   rare cases where the ref input disagrees). *)
+let may_touch t site loc = Location.Set.mem loc (targets t site)
+
+let sites t = Site.Tbl.fold (fun s _ acc -> s :: acc) t.counts [] |> List.sort Site.compare
+
+let pp ppf t =
+  List.iter
+    (fun site ->
+      Fmt.pf ppf "%a: count=%d targets={%a}@." Site.pp site (count t site)
+        (Srp_support.Pp_util.pp_list Location.pp)
+        (Location.Set.elements (targets t site)))
+    (sites t)
+
+(* --- serialization ---
+
+   A simple line-oriented text format so train-input profiles can be saved
+   and fed to later compilations (the paper's feedback file):
+
+     site <id> count <n> targets sym:<symbol-id> heap:<site-id> ...
+     block <func> <label-id> <count>
+
+   Symbols are referenced by id; decoding therefore needs the same program
+   (ids are deterministic given the source), which the driver guarantees by
+   recompiling from the same file. *)
+
+let save (t : t) : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun site ->
+      Buffer.add_string buf
+        (Fmt.str "site %d count %d targets" (Site.to_int site) (count t site));
+      Location.Set.iter
+        (fun loc ->
+          Buffer.add_string buf
+            (match loc with
+            | Location.Sym s -> Fmt.str " sym:%d" (Symbol.id s)
+            | Location.Heap h -> Fmt.str " heap:%d" (Site.to_int h)))
+        (targets t site);
+      Buffer.add_char buf '\n')
+    (sites t);
+  Hashtbl.iter
+    (fun (func, label_id) c ->
+      Buffer.add_string buf (Fmt.str "block %s %d %d\n" func label_id c))
+    t.block_counts;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+(* [load ~symbols text] rebuilds a profile; [symbols] maps symbol ids back
+   to symbols (from the program being compiled). *)
+let load ~(symbols : (int, Srp_ir.Symbol.t) Hashtbl.t) (text : string) : t =
+  let t = create () in
+  let parse_line line =
+    match String.split_on_char ' ' (String.trim line) with
+    | [] | [ "" ] -> ()
+    | "site" :: site :: "count" :: n :: "targets" :: rest ->
+      let site = int_of_string site in
+      Site.Tbl.replace t.counts site (int_of_string n);
+      let locs =
+        List.filter_map
+          (fun tok ->
+            match String.split_on_char ':' tok with
+            | [ "sym"; id ] -> (
+              match Hashtbl.find_opt symbols (int_of_string id) with
+              | Some s -> Some (Location.Sym s)
+              | None -> raise (Parse_error ("unknown symbol id " ^ id)))
+            | [ "heap"; id ] -> Some (Location.Heap (int_of_string id))
+            | _ -> raise (Parse_error ("bad target " ^ tok)))
+          rest
+      in
+      Site.Tbl.replace t.targets site
+        (List.fold_left (fun acc l -> Location.Set.add l acc) Location.Set.empty locs)
+    | "block" :: func :: label_id :: c :: [] ->
+      Hashtbl.replace t.block_counts (func, int_of_string label_id) (int_of_string c)
+    | _ -> raise (Parse_error ("bad line: " ^ line))
+  in
+  List.iter parse_line (String.split_on_char '\n' text);
+  t

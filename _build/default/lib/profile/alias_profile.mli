@@ -1,0 +1,56 @@
+(** The alias profile: for every memory-op site, the set of abstract
+    locations it actually touched at runtime, plus execution counts and
+    per-block execution counts.
+
+    This is the feedback the speculative compiler consumes (paper section
+    3.1): a chi/mu on location L at site s becomes {e chi_s}/{e mu_s}
+    (speculative) when the profile says s never touched L.  Block counts
+    drive the control-speculation and invala.e placement heuristics. *)
+
+open Srp_ir
+module Location = Srp_alias.Location
+
+type t
+
+val create : unit -> t
+
+(** Record one dynamic access of [site] to a location. *)
+val record : t -> Site.t -> Location.t -> unit
+
+(** Count one execution of a basic block. *)
+val record_block : t -> func:string -> label_id:int -> unit
+
+val block_count : t -> func:string -> label_id:int -> int
+
+(** Was [site] ever executed under the training input? *)
+val executed : t -> Site.t -> bool
+
+(** Dynamic execution count of [site]. *)
+val count : t -> Site.t -> int
+
+(** Locations [site] was observed touching (empty if never executed). *)
+val targets : t -> Site.t -> Location.Set.t
+
+(** The speculation predicate: per the profile, can the access at [site]
+    touch [loc]?  Never-executed sites answer [false] — the aggressive
+    choice the paper makes; a mis-speculation check repairs the rare
+    disagreements. *)
+val may_touch : t -> Site.t -> Location.t -> bool
+
+(** All recorded sites, sorted. *)
+val sites : t -> Site.t list
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Serialization}
+
+    A line-oriented text format so train-input profiles can be saved and
+    fed to later compilations (the paper's feedback file).  Symbols are
+    referenced by id, so {!load} needs the same program's symbol table —
+    ids are deterministic given the source. *)
+
+val save : t -> string
+
+exception Parse_error of string
+
+val load : symbols:(int, Symbol.t) Hashtbl.t -> string -> t

@@ -1,0 +1,85 @@
+(* Interpreter memory: a sparse word-addressed store plus a region map that
+   resolves any address back to the abstract [Location.t] it falls in.
+   The region map is what makes alias *profiling* possible: every dynamic
+   indirect access reports which symbol or heap object it actually touched
+   (paper section 3.1). *)
+
+open Srp_ir
+module IMap = Map.Make (Int64)
+
+type region = { base : int64; size : int; loc : Srp_alias.Location.t }
+
+type t = {
+  cells : (int64, Value.t) Hashtbl.t; (* word address (byte addr / 8) *)
+  mutable regions : region IMap.t; (* base -> region *)
+  mutable brk : int64; (* next free address *)
+}
+
+let create () = { cells = Hashtbl.create 1024; regions = IMap.empty; brk = 0x1000L }
+
+(* Allocate a fresh region; returns its base address. *)
+let alloc t ~size ~loc =
+  let size = max size 8 in
+  let size = (size + 7) / 8 * 8 in
+  let base = t.brk in
+  t.brk <- Int64.add t.brk (Int64.of_int (size + 8 (* red zone *)));
+  t.regions <- IMap.add base { base; size; loc } t.regions;
+  base
+
+(* Place a region at a caller-chosen base (stack frames: a real stack
+   reuses the same addresses across calls, which matters to the ALAT's
+   partial-address behaviour).  The base must be 8-aligned and the span
+   free. *)
+let alloc_at t ~base ~size ~loc =
+  let size = max 8 ((size + 7) / 8 * 8) in
+  if Int64.rem base 8L <> 0L then Value.err "alloc_at: unaligned base 0x%Lx" base;
+  (match IMap.find_last_opt (fun b -> Int64.compare b base <= 0) t.regions with
+  | Some (_, r) when Int64.compare base (Int64.add r.base (Int64.of_int r.size)) < 0 ->
+    Value.err "alloc_at: overlap at 0x%Lx" base
+  | _ -> ());
+  t.regions <- IMap.add base { base; size; loc } t.regions;
+  base
+
+(* Remove a region (function frame teardown).  Its cells are erased so a
+   later frame reusing addresses starts zeroed. *)
+let free t base =
+  match IMap.find_opt base t.regions with
+  | None -> Value.err "free of unknown region at 0x%Lx" base
+  | Some r ->
+    for w = 0 to (r.size / 8) - 1 do
+      Hashtbl.remove t.cells (Int64.add base (Int64.of_int (w * 8)))
+    done;
+    t.regions <- IMap.remove base t.regions
+
+let region_of_addr t addr : region option =
+  match IMap.find_last_opt (fun b -> Int64.compare b addr <= 0) t.regions with
+  | Some (_, r)
+    when Int64.compare addr (Int64.add r.base (Int64.of_int r.size)) < 0 ->
+    Some r
+  | Some _ | None -> None
+
+let location_of_addr t addr =
+  Option.map (fun r -> r.loc) (region_of_addr t addr)
+
+let check_addr t addr =
+  if Int64.rem addr 8L <> 0L then Value.err "unaligned access at 0x%Lx" addr;
+  match region_of_addr t addr with
+  | Some r -> r
+  | None -> Value.err "wild access at 0x%Lx" addr
+
+let load t addr : Value.t =
+  ignore (check_addr t addr);
+  match Hashtbl.find_opt t.cells addr with
+  | Some v -> v
+  | None -> Value.Vint 0L (* zero-initialized memory *)
+
+(* Typed load: an F64 access reinterprets a zero int cell as 0.0 so that
+   zero-init behaves type-correctly. *)
+let load_typed t addr (mty : Mem_ty.t) : Value.t =
+  match load t addr, mty with
+  | Value.Vint 0L, Mem_ty.F64 -> Value.Vflt 0.0
+  | v, _ -> v
+
+let store t addr v =
+  ignore (check_addr t addr);
+  Hashtbl.replace t.cells addr v

@@ -1,0 +1,72 @@
+(* Runtime values of the IR interpreter.  All memory is zero-initialized
+   (calloc semantics), so a load of a never-written cell yields Vint 0L —
+   the machine simulator implements the same rule, which keeps differential
+   tests exact. *)
+
+type t = Vint of int64 | Vflt of float
+
+exception Interp_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Interp_error s)) fmt
+
+let to_int = function Vint i -> i | Vflt f -> err "expected int, got float %g" f
+let to_flt = function Vflt f -> f | Vint i -> err "expected float, got int %Ld" i
+
+let truthy = function Vint i -> i <> 0L | Vflt f -> f <> 0.0
+
+let pp ppf = function
+  | Vint i -> Fmt.pf ppf "%Ld" i
+  | Vflt f -> Fmt.pf ppf "%.17g" f
+
+let equal a b =
+  match a, b with
+  | Vint x, Vint y -> Int64.equal x y
+  | Vflt x, Vflt y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Vint _, Vflt _ | Vflt _, Vint _ -> false
+
+let bool_val b = Vint (if b then 1L else 0L)
+
+let binop (op : Srp_ir.Ops.binop) a b : t =
+  let open Srp_ir.Ops in
+  match op with
+  | Add -> Vint (Int64.add (to_int a) (to_int b))
+  | Sub -> Vint (Int64.sub (to_int a) (to_int b))
+  | Mul -> Vint (Int64.mul (to_int a) (to_int b))
+  | Div ->
+    let d = to_int b in
+    if d = 0L then err "integer division by zero";
+    Vint (Int64.div (to_int a) d)
+  | Rem ->
+    let d = to_int b in
+    if d = 0L then err "integer remainder by zero";
+    Vint (Int64.rem (to_int a) d)
+  | And -> Vint (Int64.logand (to_int a) (to_int b))
+  | Or -> Vint (Int64.logor (to_int a) (to_int b))
+  | Xor -> Vint (Int64.logxor (to_int a) (to_int b))
+  | Shl -> Vint (Int64.shift_left (to_int a) (Int64.to_int (to_int b) land 63))
+  | Shr -> Vint (Int64.shift_right (to_int a) (Int64.to_int (to_int b) land 63))
+  | Eq -> bool_val (Int64.equal (to_int a) (to_int b))
+  | Ne -> bool_val (not (Int64.equal (to_int a) (to_int b)))
+  | Lt -> bool_val (Int64.compare (to_int a) (to_int b) < 0)
+  | Le -> bool_val (Int64.compare (to_int a) (to_int b) <= 0)
+  | Gt -> bool_val (Int64.compare (to_int a) (to_int b) > 0)
+  | Ge -> bool_val (Int64.compare (to_int a) (to_int b) >= 0)
+  | FAdd -> Vflt (to_flt a +. to_flt b)
+  | FSub -> Vflt (to_flt a -. to_flt b)
+  | FMul -> Vflt (to_flt a *. to_flt b)
+  | FDiv -> Vflt (to_flt a /. to_flt b)
+  | FEq -> bool_val (to_flt a = to_flt b)
+  | FNe -> bool_val (to_flt a <> to_flt b)
+  | FLt -> bool_val (to_flt a < to_flt b)
+  | FLe -> bool_val (to_flt a <= to_flt b)
+  | FGt -> bool_val (to_flt a > to_flt b)
+  | FGe -> bool_val (to_flt a >= to_flt b)
+
+let unop (op : Srp_ir.Ops.unop) a : t =
+  let open Srp_ir.Ops in
+  match op with
+  | Neg -> Vint (Int64.neg (to_int a))
+  | Not -> Vint (Int64.lognot (to_int a))
+  | FNeg -> Vflt (-.to_flt a)
+  | I2F -> Vflt (Int64.to_float (to_int a))
+  | F2I -> Vint (Int64.of_float (to_flt a))

@@ -1,0 +1,1 @@
+lib/ssa/annot.ml: Block Fmt Func Hashtbl Instr Label List Ops Program Spec_policy Srp_alias Srp_ir Srp_support

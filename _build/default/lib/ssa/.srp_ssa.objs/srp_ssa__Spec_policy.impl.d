@@ -1,0 +1,1 @@
+lib/ssa/spec_policy.ml: Func Hashtbl Instr List Ops Program Srp_alias Srp_ir Srp_profile

@@ -1,0 +1,1 @@
+lib/ssa/spec_policy.mli: Program Site Srp_alias Srp_ir Srp_profile

@@ -1,0 +1,1 @@
+lib/ssa/ssa_form.ml: Annot Block Cfg Dominance Fmt Func Hashtbl Instr Label List Ops Srp_alias Srp_ir Srp_support

@@ -1,0 +1,1 @@
+lib/ssa/ssa_verify.ml: Block Cfg Fmt Hashtbl List Srp_alias Srp_ir Ssa_form

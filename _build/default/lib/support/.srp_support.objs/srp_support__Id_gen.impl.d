@@ -1,0 +1,1 @@
+lib/support/id_gen.ml:

@@ -1,0 +1,1 @@
+lib/support/pp_util.ml: Array Buffer Fmt List String

@@ -1,0 +1,16 @@
+(* Monotonic id generator.  Each IR entity family (temps, labels, symbols,
+   sites, versions) owns one generator so ids are dense and usable as array
+   indices. *)
+
+type t = { mutable next : int }
+
+let create ?(start = 0) () = { next = start }
+
+let fresh t =
+  let id = t.next in
+  t.next <- t.next + 1;
+  id
+
+let count t = t.next
+
+let reset t = t.next <- 0

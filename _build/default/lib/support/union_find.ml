@@ -1,0 +1,69 @@
+(* Union-find with path halving and union by rank, over dense integer
+   elements.  Growable: [ensure] extends the element universe in place, so
+   representatives of existing classes never change — the Steensgaard
+   analysis relies on that while it discovers nodes on the fly. *)
+
+type t = {
+  mutable parent : int array;
+  mutable rank : int array;
+  mutable len : int; (* number of live elements *)
+}
+
+let create n =
+  let n' = max n 8 in
+  { parent = Array.init n' (fun i -> i); rank = Array.make n' 0; len = n }
+
+let size t = t.len
+
+(* Make sure elements [0, n) exist. *)
+let ensure t n =
+  if n > Array.length t.parent then begin
+    let cap = ref (Array.length t.parent) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let parent = Array.init !cap (fun i -> if i < t.len then t.parent.(i) else i) in
+    let rank = Array.make !cap 0 in
+    Array.blit t.rank 0 rank 0 t.len;
+    t.parent <- parent;
+    t.rank <- rank
+  end;
+  if n > t.len then t.len <- n
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    (* path halving: point x at its grandparent *)
+    t.parent.(x) <- t.parent.(p);
+    find t t.parent.(x)
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else if t.rank.(ra) < t.rank.(rb) then begin
+    t.parent.(ra) <- rb;
+    rb
+  end
+  else if t.rank.(ra) > t.rank.(rb) then begin
+    t.parent.(rb) <- ra;
+    ra
+  end
+  else begin
+    t.parent.(rb) <- ra;
+    t.rank.(ra) <- t.rank.(ra) + 1;
+    ra
+  end
+
+let equiv t a b = find t a = find t b
+
+(* All classes as lists of members, keyed by representative. *)
+let classes t =
+  let tbl = Hashtbl.create 16 in
+  for i = t.len - 1 downto 0 do
+    let r = find t i in
+    let cur = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (i :: cur)
+  done;
+  Hashtbl.fold (fun r members acc -> (r, members) :: acc) tbl []

@@ -1,0 +1,26 @@
+(** Union-find with path halving and union by rank, over dense integer
+    elements.
+
+    Growable: {!ensure} extends the element universe in place and never
+    changes representatives of existing classes — the Steensgaard analysis
+    relies on that while it discovers nodes on the fly. *)
+
+type t
+
+val create : int -> t
+
+(** Number of live elements. *)
+val size : t -> int
+
+(** Make sure elements [0, n) exist. *)
+val ensure : t -> int -> unit
+
+val find : t -> int -> int
+
+(** Merge two classes; returns the surviving representative. *)
+val union : t -> int -> int -> int
+
+val equiv : t -> int -> int -> bool
+
+(** All classes as (representative, members) pairs. *)
+val classes : t -> (int * int list) list

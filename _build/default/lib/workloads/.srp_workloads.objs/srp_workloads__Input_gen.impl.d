@@ -1,0 +1,1 @@
+lib/workloads/input_gen.ml: Array Int64 Program Srp_ir Srp_support

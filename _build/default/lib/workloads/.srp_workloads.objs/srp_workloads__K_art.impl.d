@@ -1,0 +1,1 @@
+lib/workloads/k_art.ml: Input_gen Srp_driver

@@ -1,0 +1,1 @@
+lib/workloads/k_bzip2.ml: Input_gen Srp_driver

@@ -1,0 +1,1 @@
+lib/workloads/k_gzip.ml: Input_gen Srp_driver

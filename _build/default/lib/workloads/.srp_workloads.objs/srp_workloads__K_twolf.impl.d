@@ -1,0 +1,1 @@
+lib/workloads/k_twolf.ml: Input_gen Srp_driver

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Fmt K_ammp K_art K_bzip2 K_equake K_gap K_gzip K_mcf K_parser K_twolf K_vpr List Srp_driver

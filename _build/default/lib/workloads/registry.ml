@@ -1,0 +1,14 @@
+(* All benchmark kernels, integer first then floating point, matching the
+   benchmark mix of the paper's Figure 8. *)
+
+let all () : Srp_driver.Workload.t list =
+  [ K_gzip.workload; K_vpr.workload; K_mcf.workload; K_parser.workload;
+    K_bzip2.workload; K_twolf.workload; K_gap.workload; K_ammp.workload;
+    K_art.workload; K_equake.workload ]
+
+let find name =
+  match List.find_opt (fun w -> w.Srp_driver.Workload.name = name) (all ()) with
+  | Some w -> w
+  | None -> Fmt.invalid_arg "unknown workload %s" name
+
+let names () = List.map (fun w -> w.Srp_driver.Workload.name) (all ())

@@ -1,0 +1,1 @@
+test/gen_minic.ml: Buffer Fmt List Srp_support String

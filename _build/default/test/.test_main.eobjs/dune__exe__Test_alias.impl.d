@@ -1,0 +1,1 @@
+test/test_alias.ml: Alcotest List Lower Srp_alias Srp_driver Srp_frontend Srp_ir Srp_profile Srp_support Srp_workloads

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest List Lower Srp_core Srp_frontend Srp_ir Srp_machine Srp_profile Srp_target

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Experiments Fmt List Pipeline Report Srp_driver Srp_machine Srp_workloads Workload

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Lexer List Lower Parser Srp_frontend Srp_ir Srp_profile String Struct_env Typecheck

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Block Cfg Dominance Func Gen Instr Label List Loops Mem_ty Ops QCheck QCheck_alcotest Srp_ir Temp Verify

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Int64 Srp_frontend Srp_machine Srp_profile Srp_target

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_alias Test_core Test_e2e Test_frontend Test_ir Test_machine Test_passes Test_profile Test_random Test_ssa Test_support Test_target

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Array Block Func Instr Int64 Label List Mem_ty Ops Program Srp_core Srp_driver Srp_frontend Srp_ir Srp_machine Srp_workloads Symbol Temp

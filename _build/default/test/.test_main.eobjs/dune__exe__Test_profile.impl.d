@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Fmt Hashtbl Int64 List Lower Option Srp_alias Srp_core Srp_frontend Srp_ir Srp_profile String

@@ -1,0 +1,1 @@
+test/test_random.ml: Alcotest Gen_minic Srp_core Srp_frontend Srp_machine Srp_profile Srp_target

@@ -1,0 +1,1 @@
+test/test_ssa.ml: Alcotest List Lower Srp_alias Srp_driver Srp_frontend Srp_ir Srp_profile Srp_ssa Srp_workloads

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Id_gen List Pp_util QCheck QCheck_alcotest Rng Srp_support String Union_find Vec

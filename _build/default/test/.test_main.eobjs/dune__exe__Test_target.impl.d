@@ -1,0 +1,1 @@
+test/test_target.ml: Alcotest Array Hashtbl List Lower Srp_core Srp_frontend Srp_profile Srp_target

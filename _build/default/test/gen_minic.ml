@@ -1,0 +1,180 @@
+(* Random MiniC program generator for differential testing.
+
+   The generated programs are deterministic (no input), terminate (all
+   loops are counted), never fault (indices come from loop counters modulo
+   array sizes; pointers are always initialized to valid objects before
+   any dereference), and print a checksum trail so two executions can be
+   compared bit-for-bit.
+
+   The shapes are chosen to stress the promotion machinery: scalar globals
+   with their addresses escaping into pointers, stores through ambiguous
+   pointers between re-reads, nested control flow, and helper calls. *)
+
+module Rng = Srp_support.Rng
+
+type ctx = {
+  rng : Rng.t;
+  buf : Buffer.t;
+  mutable indent : int;
+  mutable loop_counters : string list; (* in-scope counted loop variables *)
+  mutable depth : int;
+  n_scalars : int;
+  n_arrays : int;
+  n_ptrs : int;
+}
+
+let line ctx fmt =
+  Buffer.add_string ctx.buf (String.make (ctx.indent * 2) ' ');
+  Fmt.kstr
+    (fun s ->
+      Buffer.add_string ctx.buf s;
+      Buffer.add_char ctx.buf '\n')
+    fmt
+
+let scalar ctx = Fmt.str "g%d" (Rng.int ctx.rng ctx.n_scalars)
+let array_name ctx = Fmt.str "arr%d" (Rng.int ctx.rng ctx.n_arrays)
+let ptr ctx = Fmt.str "p%d" (Rng.int ctx.rng ctx.n_ptrs)
+
+let array_size = 16
+
+(* An in-bounds index expression. *)
+let index ctx =
+  match ctx.loop_counters with
+  | [] -> string_of_int (Rng.int ctx.rng array_size)
+  | cs ->
+    let c = List.nth cs (Rng.int ctx.rng (List.length cs)) in
+    (match Rng.int ctx.rng 3 with
+    | 0 -> Fmt.str "%s %% %d" c array_size
+    | 1 -> Fmt.str "(%s + %d) %% %d" c (Rng.int ctx.rng 7) array_size
+    | _ -> string_of_int (Rng.int ctx.rng array_size))
+
+(* An integer expression of bounded depth.  Division only by non-zero
+   constants; everything else is total. *)
+let rec expr ctx depth =
+  if depth <= 0 then atom ctx
+  else
+    match Rng.int ctx.rng 8 with
+    | 0 -> Fmt.str "(%s + %s)" (expr ctx (depth - 1)) (expr ctx (depth - 1))
+    | 1 -> Fmt.str "(%s - %s)" (expr ctx (depth - 1)) (expr ctx (depth - 1))
+    | 2 -> Fmt.str "(%s * %s)" (atom ctx) (atom ctx)
+    | 3 -> Fmt.str "(%s / %d)" (expr ctx (depth - 1)) (1 + Rng.int ctx.rng 9)
+    | 4 -> Fmt.str "(%s %% %d)" (expr ctx (depth - 1)) (1 + Rng.int ctx.rng 9)
+    | 5 -> Fmt.str "(%s ^ %s)" (atom ctx) (atom ctx)
+    | 6 ->
+      Fmt.str "(%s %s %s)" (expr ctx (depth - 1))
+        (Rng.pick ctx.rng [| "<"; "<="; "=="; "!="; ">"; ">=" |])
+        (expr ctx (depth - 1))
+    | _ -> atom ctx
+
+and atom ctx =
+  match Rng.int ctx.rng 6 with
+  | 0 -> string_of_int (Rng.int ctx.rng 100 - 50)
+  | 1 -> scalar ctx
+  | 2 -> Fmt.str "%s[%s]" (array_name ctx) (index ctx)
+  | 3 -> Fmt.str "*%s" (ptr ctx)
+  | 4 -> ( match ctx.loop_counters with [] -> scalar ctx | c :: _ -> c)
+  | _ -> scalar ctx
+
+(* A statement; recursion bounded by ctx.depth. *)
+let rec stmt ctx =
+  let choice = Rng.int ctx.rng 10 in
+  if ctx.depth >= 3 && choice >= 7 then simple ctx
+  else
+    match choice with
+    | 0 | 1 | 2 -> simple ctx
+    | 3 ->
+      (* counted loop *)
+      let c = Fmt.str "i%d" (Rng.int ctx.rng 1000) in
+      if List.mem c ctx.loop_counters then simple ctx
+      else begin
+        let bound = 1 + Rng.int ctx.rng 8 in
+        line ctx "{ int %s;" c;
+        ctx.indent <- ctx.indent + 1;
+        line ctx "for (%s = 0; %s < %d; %s = %s + 1) {" c c bound c c;
+        ctx.indent <- ctx.indent + 1;
+        ctx.loop_counters <- c :: ctx.loop_counters;
+        ctx.depth <- ctx.depth + 1;
+        let n = 1 + Rng.int ctx.rng 3 in
+        for _ = 1 to n do
+          stmt ctx
+        done;
+        ctx.depth <- ctx.depth - 1;
+        ctx.loop_counters <- List.tl ctx.loop_counters;
+        ctx.indent <- ctx.indent - 1;
+        line ctx "}";
+        ctx.indent <- ctx.indent - 1;
+        line ctx "}"
+      end
+    | 4 | 5 ->
+      (* if / if-else *)
+      line ctx "if (%s) {" (expr ctx 1);
+      ctx.indent <- ctx.indent + 1;
+      ctx.depth <- ctx.depth + 1;
+      stmt ctx;
+      ctx.depth <- ctx.depth - 1;
+      ctx.indent <- ctx.indent - 1;
+      if Rng.bool ctx.rng then begin
+        line ctx "} else {";
+        ctx.indent <- ctx.indent + 1;
+        ctx.depth <- ctx.depth + 1;
+        stmt ctx;
+        ctx.depth <- ctx.depth - 1;
+        ctx.indent <- ctx.indent - 1
+      end;
+      line ctx "}"
+    | 6 ->
+      (* repoint a pointer (always to a valid object) *)
+      let p = ptr ctx in
+      if Rng.bool ctx.rng then line ctx "%s = &%s;" p (scalar ctx)
+      else line ctx "%s = &%s[%s];" p (array_name ctx) (index ctx)
+    | 7 -> line ctx "checksum = checksum + %s;" (expr ctx 2)
+    | 8 -> line ctx "print_int(%s);" (expr ctx 1)
+    | _ -> simple ctx
+
+and simple ctx =
+  match Rng.int ctx.rng 4 with
+  | 0 -> line ctx "%s = %s;" (scalar ctx) (expr ctx 2)
+  | 1 -> line ctx "%s[%s] = %s;" (array_name ctx) (index ctx) (expr ctx 2)
+  | 2 -> line ctx "*%s = %s;" (ptr ctx) (expr ctx 2)
+  | _ ->
+    (* the promotion-relevant shape: read, aliased store, re-read *)
+    let g = scalar ctx in
+    line ctx "checksum = checksum + %s;" g;
+    line ctx "*%s = %s + 1;" (ptr ctx) g;
+    line ctx "checksum = checksum + %s;" g
+
+(* Generate a full program from a seed. *)
+let program ?(n_scalars = 4) ?(n_arrays = 2) ?(n_ptrs = 3) ~seed () : string =
+  let ctx =
+    { rng = Rng.create seed; buf = Buffer.create 1024; indent = 0;
+      loop_counters = []; depth = 0; n_scalars; n_arrays; n_ptrs }
+  in
+  for i = 0 to n_scalars - 1 do
+    line ctx "int g%d = %d;" i (Rng.int ctx.rng 20)
+  done;
+  for i = 0 to n_arrays - 1 do
+    line ctx "int arr%d[%d];" i array_size
+  done;
+  for i = 0 to n_ptrs - 1 do
+    line ctx "int* p%d;" i
+  done;
+  line ctx "int checksum;";
+  line ctx "int main() {";
+  ctx.indent <- 1;
+  (* initialize every pointer before any use *)
+  for i = 0 to n_ptrs - 1 do
+    if Rng.bool ctx.rng then line ctx "p%d = &g%d;" i (Rng.int ctx.rng n_scalars)
+    else line ctx "p%d = &arr%d[%d];" i (Rng.int ctx.rng n_arrays) (Rng.int ctx.rng array_size)
+  done;
+  let n = 4 + Rng.int ctx.rng 8 in
+  for _ = 1 to n do
+    stmt ctx
+  done;
+  line ctx "print_int(checksum);";
+  for i = 0 to n_scalars - 1 do
+    line ctx "print_int(g%d);" i
+  done;
+  line ctx "return 0;";
+  ctx.indent <- 0;
+  line ctx "}";
+  Buffer.contents ctx.buf

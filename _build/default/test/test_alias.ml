@@ -1,0 +1,303 @@
+(* Tests for the points-to analyses, the type filter and mod/ref summaries,
+   including the soundness property that every dynamically observed target
+   is statically predicted. *)
+
+open Srp_frontend
+module Location = Srp_alias.Location
+module Manager = Srp_alias.Manager
+module Steensgaard = Srp_alias.Steensgaard
+module Andersen = Srp_alias.Andersen
+module Modref = Srp_alias.Modref
+
+let compile = Lower.compile_source
+
+(* The points-to set of the address temp of the first indirect store in
+   [fname]. *)
+let first_indirect_store_pts which prog fname =
+  let f = Srp_ir.Program.find_func prog fname in
+  let result = ref None in
+  Srp_ir.Func.iter_instrs
+    (fun _ ins ->
+      match ins with
+      | Srp_ir.Instr.Store { addr = { Srp_ir.Ops.base = Srp_ir.Ops.Reg r; _ }; _ }
+        when !result = None ->
+        result := Some (which ~func:fname r)
+      | _ -> ())
+    f;
+  match !result with Some s -> s | None -> Alcotest.fail "no indirect store found"
+
+let names_of set =
+  Location.Set.elements set |> List.map Location.to_string |> List.sort compare
+
+let two_targets_src = {|
+int a; int b; int c;
+int* p;
+int sel;
+int main() {
+  if (sel) { p = &a; } else { p = &b; }
+  *p = 1;
+  c = 2;
+  return 0;
+}
+|}
+
+let test_steensgaard_two_targets () =
+  let prog = compile two_targets_src in
+  let st = Steensgaard.run prog in
+  let pts = first_indirect_store_pts (Steensgaard.points_to_of_temp st) prog "main" in
+  Alcotest.(check (list string)) "p -> {a, b}" [ "a"; "b" ] (names_of pts)
+
+let test_andersen_two_targets () =
+  let prog = compile two_targets_src in
+  let an = Andersen.run prog in
+  let pts = first_indirect_store_pts (Andersen.points_to_of_temp an) prog "main" in
+  Alcotest.(check (list string)) "p -> {a, b}" [ "a"; "b" ] (names_of pts)
+
+(* Andersen is directional: [q = &a; p = q] must not make q point to what p
+   later receives.  Steensgaard unifies and does. *)
+let direction_src = {|
+int a; int b;
+int* p; int* q;
+int main() {
+  q = &a;
+  p = q;
+  p = &b;
+  *q = 1;
+  return 0;
+}
+|}
+
+let test_andersen_beats_steensgaard () =
+  let prog = compile direction_src in
+  let an = Andersen.run prog in
+  let st = Steensgaard.run prog in
+  let a_pts = first_indirect_store_pts (Andersen.points_to_of_temp an) prog "main" in
+  let s_pts = first_indirect_store_pts (Steensgaard.points_to_of_temp st) prog "main" in
+  Alcotest.(check (list string)) "andersen: q -> {a}" [ "a" ] (names_of a_pts);
+  Alcotest.(check bool) "steensgaard unifies: q -> {a, b}" true
+    (List.mem "b" (names_of s_pts))
+
+let test_heap_site_naming () =
+  let src = {|
+struct s { int v; struct s* n; };
+struct s* mk1() { struct s* x = malloc(16); return x; }
+struct s* mk2() { struct s* x = malloc(16); return x; }
+int main() {
+  struct s* a = mk1();
+  struct s* b = mk2();
+  a->v = 1;
+  b->v = 2;
+  return a->v + b->v;
+}
+|} in
+  let prog = compile src in
+  let mgr = Manager.build prog in
+  let f = Srp_ir.Program.find_func prog "main" in
+  let sets = ref [] in
+  Srp_ir.Func.iter_instrs
+    (fun _ ins ->
+      match ins with
+      | Srp_ir.Instr.Store { addr = { Srp_ir.Ops.base = Srp_ir.Ops.Reg r; _ }; mty; _ } ->
+        sets := Manager.points_to mgr ~func:"main" ~mty r :: !sets
+      | _ -> ())
+    f;
+  (match !sets with
+  | [ s2; s1 ] ->
+    Alcotest.(check int) "a's store: one heap site" 1 (Location.Set.cardinal s1);
+    Alcotest.(check int) "b's store: one heap site" 1 (Location.Set.cardinal s2);
+    Alcotest.(check bool) "different allocation sites" false (Location.Set.equal s1 s2)
+  | _ -> Alcotest.fail "expected two indirect stores")
+
+let test_pointer_table_confuses_both () =
+  (* the kernel idiom: a pointer table holding mostly-array pointers plus
+     one pointer to a hot scalar forces both analyses to include the
+     scalar *)
+  let src = {|
+int hot;
+int arr[8];
+int* slots[4];
+int main() {
+  slots[0] = &arr[0];
+  slots[1] = &arr[4];
+  slots[2] = &hot;
+  int* c = slots[1];
+  *c = 5;
+  return hot;
+}
+|} in
+  let prog = compile src in
+  let mgr = Manager.build prog in
+  let pts =
+    first_indirect_store_pts
+      (fun ~func r -> Manager.points_to mgr ~func ~mty:Srp_ir.Mem_ty.I64 r)
+      prog "main"
+  in
+  Alcotest.(check bool) "hot is a may-target" true
+    (List.mem "hot" (names_of pts));
+  Alcotest.(check bool) "arr is a may-target" true (List.mem "arr" (names_of pts))
+
+let test_type_filter () =
+  let src = {|
+int ivar; double dvar;
+double* dp;
+int sel;
+double scratch[4];
+int main() {
+  if (sel) { dp = &dvar; } else { dp = &scratch[0]; }
+  *dp = 1.5;
+  ivar = 3;
+  return ivar;
+}
+|} in
+  let prog = compile src in
+  let mgr = Manager.build prog in
+  let pts =
+    first_indirect_store_pts
+      (fun ~func r -> Manager.points_to mgr ~func ~mty:Srp_ir.Mem_ty.F64 r)
+      prog "main"
+  in
+  (* the F64 store must not be assumed to alias the int variable *)
+  Alcotest.(check bool) "no int target for an f64 store" false
+    (List.mem "ivar" (names_of pts));
+  Alcotest.(check bool) "dvar is a target" true (List.mem "dvar" (names_of pts))
+
+let test_modref () =
+  let src = {|
+int g; int h;
+int* p;
+void writes_g() { g = 1; }
+void writes_both() { writes_g(); h = 2; }
+int reads_g() { return g; }
+int main() { p = &g; writes_both(); return reads_g(); }
+|} in
+  let prog = compile src in
+  let mgr = Manager.build prog in
+  let mr = Modref.compute mgr prog in
+  let names set = names_of set in
+  Alcotest.(check (list string)) "writes_g mods g" [ "g" ] (names (Modref.mod_of mr "writes_g"));
+  Alcotest.(check (list string)) "writes_both mods g,h" [ "g"; "h" ]
+    (names (Modref.mod_of mr "writes_both"));
+  Alcotest.(check (list string)) "reads_g refs g" [ "g" ] (names (Modref.ref_of mr "reads_g"));
+  Alcotest.(check (list string)) "reads_g mods nothing" [] (names (Modref.mod_of mr "reads_g"))
+
+let test_modref_recursion () =
+  let src = {|
+int g;
+int down(int n) { if (n <= 0) { return 0; } g = g + n; return down(n - 1); }
+int main() { return down(3); }
+|} in
+  let prog = compile src in
+  let mgr = Manager.build prog in
+  let mr = Modref.compute mgr prog in
+  Alcotest.(check (list string)) "recursive fn mods g" [ "g" ]
+    (names_of (Modref.mod_of mr "down"))
+
+let test_modref_private_locals_hidden () =
+  let src = {|
+int callee() { int local = 5; local = local + 1; return local; }
+int main() { return callee(); }
+|} in
+  let prog = compile src in
+  let mgr = Manager.build prog in
+  let mr = Modref.compute mgr prog in
+  Alcotest.(check (list string)) "private locals invisible" []
+    (names_of (Modref.mod_of mr "callee"))
+
+(* Soundness of the static analyses against the dynamic profile: every
+   location a site actually touched must be in the static points-to set of
+   that site's address. *)
+let check_soundness src =
+  let prog = compile src in
+  let _, _, profile = Srp_profile.Interp.run_program prog in
+  let mgr = Manager.build prog in
+  List.iter
+    (fun f ->
+      let fname = Srp_ir.Func.name f in
+      Srp_ir.Func.iter_instrs
+        (fun _ ins ->
+          match ins with
+          | Srp_ir.Instr.Store
+              { addr = { Srp_ir.Ops.base = Srp_ir.Ops.Reg r; _ }; mty; site; _ }
+          | Srp_ir.Instr.Load
+              { addr = { Srp_ir.Ops.base = Srp_ir.Ops.Reg r; _ }; mty; site; _ } ->
+            let static = Manager.points_to mgr ~func:fname ~mty r in
+            let dynamic = Srp_profile.Alias_profile.targets profile site in
+            (* ignore stack-frame accesses to locals of *other* frames:
+               our kernels do not do this, and location identity for
+               frames is per-symbol anyway *)
+            if not (Location.Set.subset dynamic static) then
+              Alcotest.failf "unsound at %a: dynamic {%a} vs static {%a}"
+                Srp_ir.Site.pp site
+                (Srp_support.Pp_util.pp_list Location.pp)
+                (Location.Set.elements dynamic)
+                (Srp_support.Pp_util.pp_list Location.pp)
+                (Location.Set.elements static)
+          | _ -> ())
+        f)
+    (Srp_ir.Program.funcs prog)
+
+let test_soundness_vs_profile () =
+  check_soundness two_targets_src;
+  check_soundness direction_src;
+  check_soundness {|
+struct n { int v; struct n* next; };
+int table[16];
+int* cur;
+int main() {
+  struct n* head = 0;
+  int i;
+  for (i = 0; i < 10; i = i + 1) {
+    struct n* e = malloc(16);
+    e->v = i;
+    e->next = head;
+    head = e;
+  }
+  cur = &table[3];
+  int s = 0;
+  while (head != 0) { *cur = s; s = s + head->v; head = head->next; }
+  print_int(s);
+  return 0;
+}
+|}
+
+(* Soundness on every built-in kernel (train inputs, the profile run the
+   compiler itself uses). *)
+let test_soundness_kernels () =
+  List.iter
+    (fun (w : Srp_driver.Workload.t) ->
+      let prog = compile w.Srp_driver.Workload.source in
+      Srp_driver.Workload.apply_input prog w.Srp_driver.Workload.train;
+      let interp = Srp_profile.Interp.create prog in
+      ignore (Srp_profile.Interp.run interp);
+      let profile = Srp_profile.Interp.profile interp in
+      let mgr = Manager.build prog in
+      List.iter
+        (fun f ->
+          let fname = Srp_ir.Func.name f in
+          Srp_ir.Func.iter_instrs
+            (fun _ ins ->
+              match ins with
+              | Srp_ir.Instr.Store
+                  { addr = { Srp_ir.Ops.base = Srp_ir.Ops.Reg r; _ }; mty; site; _ } ->
+                let static = Manager.points_to mgr ~func:fname ~mty r in
+                let dynamic = Srp_profile.Alias_profile.targets profile site in
+                if not (Location.Set.subset dynamic static) then
+                  Alcotest.failf "%s: unsound store at %a" w.Srp_driver.Workload.name
+                    Srp_ir.Site.pp site
+              | _ -> ())
+            f)
+        (Srp_ir.Program.funcs prog))
+    (Srp_workloads.Registry.all ())
+
+let suite =
+  [ Alcotest.test_case "steensgaard two targets" `Quick test_steensgaard_two_targets;
+    Alcotest.test_case "andersen two targets" `Quick test_andersen_two_targets;
+    Alcotest.test_case "andersen directional precision" `Quick test_andersen_beats_steensgaard;
+    Alcotest.test_case "heap site naming" `Quick test_heap_site_naming;
+    Alcotest.test_case "pointer table confuses both" `Quick test_pointer_table_confuses_both;
+    Alcotest.test_case "type-based filter" `Quick test_type_filter;
+    Alcotest.test_case "mod/ref summaries" `Quick test_modref;
+    Alcotest.test_case "mod/ref recursion" `Quick test_modref_recursion;
+    Alcotest.test_case "mod/ref hides private locals" `Quick test_modref_private_locals_hidden;
+    Alcotest.test_case "static soundness vs dynamic profile" `Quick test_soundness_vs_profile;
+    Alcotest.test_case "soundness on all kernels (train)" `Slow test_soundness_kernels ]

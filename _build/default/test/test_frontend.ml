@@ -1,0 +1,268 @@
+(* Tests for the MiniC front end: lexer, parser, typechecker, lowering. *)
+
+open Srp_frontend
+
+let lex_kinds src =
+  List.map (fun (l : Lexer.lexed) -> l.Lexer.tok) (Lexer.tokenize src)
+
+let test_lex_basic () =
+  let toks = lex_kinds "int x = 42;" in
+  Alcotest.(check int) "token count (incl. eof)" 6 (List.length toks);
+  (match toks with
+  | [ Lexer.KW_INT; Lexer.IDENT "x"; Lexer.EQ; Lexer.INT_LIT 42L; Lexer.SEMI; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "unexpected token stream")
+
+let test_lex_operators () =
+  let toks = lex_kinds "a->b <= c >> 2 && !d" in
+  Alcotest.(check bool) "has arrow" true (List.mem Lexer.ARROW toks);
+  Alcotest.(check bool) "has le" true (List.mem Lexer.LE toks);
+  Alcotest.(check bool) "has shr" true (List.mem Lexer.SHR toks);
+  Alcotest.(check bool) "has ampamp" true (List.mem Lexer.AMPAMP toks);
+  Alcotest.(check bool) "has bang" true (List.mem Lexer.BANG toks)
+
+let test_lex_floats () =
+  match lex_kinds "3.5 1.0e3 2." with
+  | [ Lexer.FLOAT_LIT a; Lexer.FLOAT_LIT b; Lexer.FLOAT_LIT c; Lexer.EOF ] ->
+    Alcotest.(check (float 1e-9)) "3.5" 3.5 a;
+    Alcotest.(check (float 1e-9)) "1e3" 1000.0 b;
+    Alcotest.(check (float 1e-9)) "2." 2.0 c
+  | _ -> Alcotest.fail "expected three float literals"
+
+let test_lex_comments () =
+  let toks = lex_kinds "a // line\n /* block\n comment */ b" in
+  Alcotest.(check int) "comments skipped" 3 (List.length toks)
+
+let test_lex_error_pos () =
+  try
+    ignore (Lexer.tokenize "int x;\n  @");
+    Alcotest.fail "expected lex error"
+  with Lexer.Lex_error (_, pos) ->
+    Alcotest.(check int) "line" 2 pos.Ast.line;
+    Alcotest.(check int) "col" 3 pos.Ast.col
+
+let parse_ok src = ignore (Parser.parse_program src)
+
+let parse_fails src =
+  try
+    ignore (Parser.parse_program src);
+    false
+  with Parser.Parse_error _ -> true
+
+let test_parse_struct () =
+  parse_ok "struct s { int a; double b; struct s* next; }; int main() { return 0; }"
+
+let test_parse_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3): check through evaluation *)
+  let src = "int main() { print_int(1 + 2 * 3); print_int((1 + 2) * 3); return 0; }" in
+  let prog = Lower.compile_source src in
+  let _, out, _ = Srp_profile.Interp.run_program prog in
+  Alcotest.(check string) "precedence" "7\n9\n" out
+
+let test_parse_errors () =
+  Alcotest.(check bool) "missing semi" true (parse_fails "int main() { return 0 }");
+  Alcotest.(check bool) "unbalanced" true (parse_fails "int main() { if (1 { } return 0; }");
+  Alcotest.(check bool) "bad toplevel" true (parse_fails "return 3;")
+
+let type_fails src =
+  try
+    ignore (Typecheck.check_program (Parser.parse_program src));
+    false
+  with Typecheck.Type_error _ -> true
+
+let test_type_errors () =
+  Alcotest.(check bool) "unknown var" true (type_fails "int main() { return y; }");
+  Alcotest.(check bool) "unknown func" true (type_fails "int main() { return f(); }");
+  Alcotest.(check bool) "arity" true
+    (type_fails "int f(int a) { return a; } int main() { return f(1, 2); }");
+  Alcotest.(check bool) "deref int" true (type_fails "int main() { int x; return *x; }");
+  Alcotest.(check bool) "field on int" true (type_fails "int main() { int x; return x.f; }");
+  Alcotest.(check bool) "unknown struct value" true
+    (type_fails "struct t g; int main() { return 0; }");
+  Alcotest.(check bool) "unknown field" true
+    (type_fails "struct s { int a; }; struct s* p; int main() { return p->b; }");
+  Alcotest.(check bool) "void variable" true (type_fails "int main() { void v; return 0; }");
+  Alcotest.(check bool) "dup variable" true
+    (type_fails "int main() { int x; int x; return 0; }");
+  Alcotest.(check bool) "return value from void" true
+    (type_fails "void f() { return 3; } int main() { return 0; }");
+  Alcotest.(check bool) "aggregate assign" true
+    (type_fails "struct s { int a; }; struct s g; struct s h; int main() { g = h; return 0; }")
+
+let test_type_shadowing () =
+  (* inner scopes may shadow; unique names keep them apart *)
+  let src = {|
+int main() {
+  int x = 1;
+  if (x) { int x = 2; print_int(x); }
+  print_int(x);
+  return 0;
+}
+|} in
+  let prog = Lower.compile_source src in
+  let _, out, _ = Srp_profile.Interp.run_program prog in
+  Alcotest.(check string) "shadowing" "2\n1\n" out
+
+let test_implicit_conversions () =
+  let src = {|
+double d;
+int main() {
+  d = 3;              // int -> double
+  int i = 7.9;        // double -> int (truncation)
+  print_float(d + 1); // int literal promoted
+  print_int(i);
+  return 0;
+}
+|} in
+  let prog = Lower.compile_source src in
+  let _, out, _ = Srp_profile.Interp.run_program prog in
+  Alcotest.(check string) "conversions" "4.000000\n7\n" out
+
+let test_struct_layout () =
+  let env = Struct_env.create () in
+  Struct_env.add env
+    { Ast.sname = "inner"; sfields = [ (Ast.Tint, "a"); (Ast.Tdouble, "b") ];
+      spos = Ast.no_pos };
+  Struct_env.add env
+    { Ast.sname = "outer";
+      sfields =
+        [ (Ast.Tint, "x"); (Ast.Tstruct "inner", "in_"); (Ast.Tarr (Ast.Tint, 4), "arr") ];
+      spos = Ast.no_pos };
+  Alcotest.(check int) "inner size" 16 (Struct_env.sizeof env Ast.no_pos (Ast.Tstruct "inner"));
+  Alcotest.(check int) "outer size" (8 + 16 + 32)
+    (Struct_env.sizeof env Ast.no_pos (Ast.Tstruct "outer"));
+  let f = Struct_env.field env Ast.no_pos "outer" "arr" in
+  Alcotest.(check int) "arr offset" 24 f.Struct_env.f_offset
+
+let test_lowering_memory_form () =
+  (* lowering must keep every user variable in memory: loads/stores, no
+     cross-statement caching in temps *)
+  let src = "int g; int main() { g = 1; g = g + 1; g = g + 1; return g; }" in
+  let prog = Lower.compile_source src in
+  let f = Srp_ir.Program.find_func prog "main" in
+  let loads = ref 0 and stores = ref 0 in
+  Srp_ir.Func.iter_instrs
+    (fun _ ins ->
+      match ins with
+      | Srp_ir.Instr.Load _ -> incr loads
+      | Srp_ir.Instr.Store _ -> incr stores
+      | _ -> ())
+    f;
+  Alcotest.(check int) "three loads of g (two adds + return)" 3 !loads;
+  Alcotest.(check int) "three stores" 3 !stores
+
+let test_lowering_verifies () =
+  (* a grab-bag program stressing all syntax; must pass the IR verifier
+     (compile_source runs it) and round-trip through the interpreter *)
+  let src = {|
+struct pt { int x; int y; };
+struct pt grid[4];
+int vals[8] = { 1, 2, 3, 4, 5, 6, 7, 8 };
+double dd = 0.25;
+int g = 5;
+
+int helper(int a, double b) {
+  if (a > 3 && b > 0.1) { return a * 2; }
+  return a == 0 ? 7 : -a;
+}
+
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 4; i = i + 1) {
+    grid[i].x = vals[i];
+    grid[i].y = vals[i + 4];
+  }
+  i = 0;
+  while (i < 4) {
+    acc += grid[i].x * grid[i].y;
+    i = i + 1;
+    if (acc > 100) { break; }
+  }
+  do { acc = acc - 1; } while (acc > 60);
+  acc = acc << 1 >> 1;
+  acc = acc ^ 5 | 2 & 3;
+  print_int(helper(g, dd));
+  print_int(acc);
+  print_int(~0 + vals[g % 8]);
+  return 0;
+}
+|} in
+  let prog = Lower.compile_source src in
+  let code, out, _ = Srp_profile.Interp.run_program prog in
+  Alcotest.(check int64) "exit" 0L code;
+  Alcotest.(check bool) "has output" true (String.length out > 0)
+
+let test_short_circuit () =
+  (* && must not evaluate its rhs when lhs is false: the rhs would divide
+     by zero *)
+  let src = {|
+int z;
+int main() {
+  int ok = z != 0 && 10 / z > 1;
+  print_int(ok);
+  int also = z == 0 || 10 / z > 1;
+  print_int(also);
+  return 0;
+}
+|} in
+  let prog = Lower.compile_source src in
+  let _, out, _ = Srp_profile.Interp.run_program prog in
+  Alcotest.(check string) "short circuit" "0\n1\n" out
+
+let test_global_initializers () =
+  let src = {|
+int a = 2 + 3 * 4;
+int arr[3] = { 10, 20, 30 };
+double d = 1.5 * 2.0;
+int main() { print_int(a); print_int(arr[1]); print_float(d); return 0; }
+|} in
+  let prog = Lower.compile_source src in
+  let _, out, _ = Srp_profile.Interp.run_program prog in
+  Alcotest.(check string) "global inits" "14\n20\n3.000000\n" out
+
+let test_pointer_arithmetic () =
+  let src = {|
+int arr[10];
+int main() {
+  int i;
+  for (i = 0; i < 10; i = i + 1) { arr[i] = i * i; }
+  int* p = &arr[2];
+  print_int(*p);
+  print_int(*(p + 3));
+  int* q = p + 1;
+  print_int(*q);
+  return 0;
+}
+|} in
+  let prog = Lower.compile_source src in
+  let _, out, _ = Srp_profile.Interp.run_program prog in
+  Alcotest.(check string) "ptr arith (scaled)" "4\n25\n9\n" out
+
+let test_recursion () =
+  let src = {|
+int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+int main() { print_int(fib(12)); return 0; }
+|} in
+  let prog = Lower.compile_source src in
+  let _, out, _ = Srp_profile.Interp.run_program prog in
+  Alcotest.(check string) "fib 12" "144\n" out
+
+let suite =
+  [ Alcotest.test_case "lex basic" `Quick test_lex_basic;
+    Alcotest.test_case "lex operators" `Quick test_lex_operators;
+    Alcotest.test_case "lex floats" `Quick test_lex_floats;
+    Alcotest.test_case "lex comments" `Quick test_lex_comments;
+    Alcotest.test_case "lex error position" `Quick test_lex_error_pos;
+    Alcotest.test_case "parse struct" `Quick test_parse_struct;
+    Alcotest.test_case "parse precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "type errors" `Quick test_type_errors;
+    Alcotest.test_case "shadowing" `Quick test_type_shadowing;
+    Alcotest.test_case "implicit conversions" `Quick test_implicit_conversions;
+    Alcotest.test_case "struct layout" `Quick test_struct_layout;
+    Alcotest.test_case "lowering keeps variables in memory" `Quick test_lowering_memory_form;
+    Alcotest.test_case "lowering verifies (grab bag)" `Quick test_lowering_verifies;
+    Alcotest.test_case "short circuit" `Quick test_short_circuit;
+    Alcotest.test_case "global initializers" `Quick test_global_initializers;
+    Alcotest.test_case "pointer arithmetic" `Quick test_pointer_arithmetic;
+    Alcotest.test_case "recursion" `Quick test_recursion ]

@@ -1,0 +1,254 @@
+(* Tests for the IR layer: CFG construction, dominators (checked against a
+   naive reference algorithm on random CFGs), dominance frontiers, natural
+   loops, critical-edge splitting, and the verifier. *)
+
+open Srp_ir
+
+(* Build a synthetic function from an edge list: nodes 0..n-1, node 0 is
+   the entry, terminators are jumps/branches following the edge list. *)
+let mk_func n (edges : (int * int) list) : Func.t =
+  let temp_gen = Temp.Gen.create () in
+  let label_gen = Label.Gen.create () in
+  let f = Func.create ~name:"synth" ~formals:[] ~ret_mty:None ~temp_gen ~label_gen in
+  let labels =
+    Array.init n (fun i ->
+        if i = 0 then Func.entry f
+        else Block.label (Func.fresh_block ~hint:"n" f))
+  in
+  for i = 0 to n - 1 do
+    let succs = List.filter_map (fun (a, b) -> if a = i then Some b else None) edges in
+    let blk = Func.find_block f labels.(i) in
+    match succs with
+    | [] -> blk.Block.term <- Instr.Ret None
+    | [ s ] -> blk.Block.term <- Instr.Jump labels.(s)
+    | [ s1; s2 ] ->
+      let t = Func.fresh_temp f Mem_ty.I64 in
+      Block.append blk (Instr.Mov { dst = t; src = Ops.Int 1L });
+      blk.Block.term <- Instr.Br { cond = Ops.Temp t; ifso = labels.(s1); ifnot = labels.(s2) }
+    | s1 :: s2 :: _ ->
+      let t = Func.fresh_temp f Mem_ty.I64 in
+      Block.append blk (Instr.Mov { dst = t; src = Ops.Int 1L });
+      blk.Block.term <- Instr.Br { cond = Ops.Temp t; ifso = labels.(s1); ifnot = labels.(s2) }
+  done;
+  f
+
+(* Naive dominators: dom(b) = all nodes that appear on every path from the
+   entry to b.  Computed by the classic iterative set algorithm. *)
+let naive_dominators (cfg : Cfg.t) : bool array array =
+  let n = Cfg.num_nodes cfg in
+  let dom = Array.init n (fun i -> Array.make n (i <> 0 || true)) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      dom.(i).(j) <- (if i = 0 then i = j || false else true)
+    done
+  done;
+  for j = 0 to n - 1 do
+    dom.(0).(j) <- j = 0
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let inter = Array.make n true in
+      let preds = Cfg.preds cfg i in
+      if preds = [] then Array.fill inter 0 n false
+      else
+        List.iter (fun p -> Array.iteri (fun j v -> inter.(j) <- v && dom.(p).(j)) inter) preds;
+      inter.(i) <- true;
+      if inter <> dom.(i) then begin
+        dom.(i) <- inter;
+        changed := true
+      end
+    done
+  done;
+  dom
+
+let test_cfg_rpo () =
+  (* diamond: 0 -> 1,2 -> 3 *)
+  let f = mk_func 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let cfg = Cfg.build f in
+  Alcotest.(check int) "4 reachable nodes" 4 (Cfg.num_nodes cfg);
+  Alcotest.(check int) "entry is node 0" 0 (Cfg.entry_index cfg);
+  (* RPO: entry first, join last *)
+  Alcotest.(check (list int)) "join preds" [ 1; 2 ]
+    (List.sort compare (Cfg.preds cfg 3))
+
+let test_cfg_unreachable () =
+  (* node 3 unreachable *)
+  let f = mk_func 4 [ (0, 1); (1, 2) ] in
+  let cfg = Cfg.build f in
+  Alcotest.(check int) "unreachable dropped" 3 (Cfg.num_nodes cfg)
+
+let test_dominators_diamond () =
+  let f = mk_func 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let cfg = Cfg.build f in
+  let dom = Dominance.compute cfg in
+  let j = 3 and b1 = 1 in
+  Alcotest.(check bool) "entry dominates all" true (Dominance.dominates dom 0 j);
+  Alcotest.(check bool) "branch arm does not dominate join" false
+    (Dominance.dominates dom b1 j);
+  Alcotest.(check (option int)) "idom of join is entry" (Some 0) (Dominance.idom dom j)
+
+let test_dominators_loop () =
+  (* 0 -> 1 (header) -> 2 (body) -> 1; 1 -> 3 (exit) *)
+  let f = mk_func 4 [ (0, 1); (1, 2); (2, 1); (1, 3) ] in
+  let cfg = Cfg.build f in
+  let dom = Dominance.compute cfg in
+  let header = 1 in
+  Alcotest.(check bool) "header dominates body" true
+    (Dominance.dominates dom header 2);
+  let loops = Loops.find cfg dom in
+  Alcotest.(check int) "one loop" 1 (List.length loops);
+  let l = List.hd loops in
+  Alcotest.(check int) "loop header" header l.Loops.header;
+  Alcotest.(check int) "loop body size" 2 (List.length l.Loops.body)
+
+(* Random-CFG property: fast dominators match the naive quadratic ones. *)
+let prop_dominators_match =
+  QCheck.Test.make ~name:"dominators match naive reference" ~count:120
+    QCheck.(pair (int_range 2 12) (list_of_size (Gen.int_range 1 30) (pair (int_bound 11) (int_bound 11))))
+    (fun (n, raw_edges) ->
+      let edges =
+        (* keep the graph connected-ish: a spine 0->1->..->n-1 plus noise *)
+        List.init (n - 1) (fun i -> (i, i + 1))
+        @ List.filter_map
+            (fun (a, b) -> if a < n && b < n && b <> 0 then Some (a, b) else None)
+            raw_edges
+      in
+      let f = mk_func n edges in
+      let cfg = Cfg.build f in
+      let dom = Dominance.compute cfg in
+      let naive = naive_dominators cfg in
+      let m = Cfg.num_nodes cfg in
+      let ok = ref true in
+      for a = 0 to m - 1 do
+        for b = 0 to m - 1 do
+          if Dominance.dominates dom a b <> naive.(b).(a) then ok := false
+        done
+      done;
+      !ok)
+
+(* Dominance frontier property: b is in DF(a) iff a dominates a predecessor
+   of b but does not strictly dominate b. *)
+let prop_frontier_correct =
+  QCheck.Test.make ~name:"dominance frontier definition" ~count:120
+    QCheck.(pair (int_range 2 10) (list_of_size (Gen.int_range 1 25) (pair (int_bound 9) (int_bound 9))))
+    (fun (n, raw_edges) ->
+      let edges =
+        List.init (n - 1) (fun i -> (i, i + 1))
+        @ List.filter_map
+            (fun (a, b) -> if a < n && b < n && b <> 0 then Some (a, b) else None)
+            raw_edges
+      in
+      let f = mk_func n edges in
+      let cfg = Cfg.build f in
+      let dom = Dominance.compute cfg in
+      let m = Cfg.num_nodes cfg in
+      let ok = ref true in
+      for a = 0 to m - 1 do
+        for b = 0 to m - 1 do
+          let in_df = List.mem b (Dominance.frontier dom a) in
+          let should =
+            List.exists (fun p -> Dominance.dominates dom a p) (Cfg.preds cfg b)
+            && not (Dominance.strictly_dominates dom a b)
+          in
+          if in_df <> should then ok := false
+        done
+      done;
+      !ok)
+
+let test_split_critical_edges () =
+  (* 0 -> {1, 2}; 1 -> 2: edge 0->2 is critical *)
+  let f = mk_func 3 [ (0, 1); (0, 2); (1, 2) ] in
+  Loops.split_critical_edges f;
+  let cfg = Cfg.build f in
+  (* after splitting there must be no edge whose source has several
+     successors and whose target has several predecessors *)
+  let ok = ref true in
+  for i = 0 to Cfg.num_nodes cfg - 1 do
+    if List.length (Cfg.succs cfg i) > 1 then
+      List.iter
+        (fun s -> if List.length (Cfg.preds cfg s) > 1 then ok := false)
+        (Cfg.succs cfg i)
+  done;
+  Alcotest.(check bool) "no critical edges" true !ok;
+  Verify.check_func f
+
+let test_verify_catches_bad_label () =
+  let f = mk_func 2 [ (0, 1) ] in
+  let blk = List.hd (Func.blocks f) in
+  let bogus =
+    let g = Label.Gen.create () in
+    let rec skip n = if n = 0 then Label.Gen.fresh g else (ignore (Label.Gen.fresh g); skip (n - 1)) in
+    skip 100
+  in
+  blk.Block.term <- Instr.Jump bogus;
+  Alcotest.(check bool) "verifier rejects" true
+    (try
+       Verify.check_func f;
+       false
+     with Verify.Ill_formed _ -> true)
+
+let test_verify_catches_double_def () =
+  let f = mk_func 1 [] in
+  let blk = List.hd (Func.blocks f) in
+  let t = Func.fresh_temp f Mem_ty.I64 in
+  Block.append blk (Instr.Mov { dst = t; src = Ops.Int 1L });
+  Block.append blk (Instr.Mov { dst = t; src = Ops.Int 2L });
+  Alcotest.(check bool) "verifier rejects double def" true
+    (try
+       Verify.check_func f;
+       false
+     with Verify.Ill_formed _ -> true);
+  (* but it is legal once the function leaves the SSA-temp regime *)
+  f.Func.ssa_temps <- false;
+  Verify.check_func f
+
+let test_verify_catches_undominated_use () =
+  (* use in one branch of a diamond, def in the other *)
+  let f = mk_func 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let t = Func.fresh_temp f Mem_ty.I64 in
+  let b1 = Cfg.build f in
+  let blk1 = Cfg.block b1 (Cfg.index_of_label b1 (Block.label (List.nth (Func.blocks f) 1))) in
+  let blk2 = List.nth (Func.blocks f) 2 in
+  Block.append blk1 (Instr.Mov { dst = t; src = Ops.Int 1L });
+  Block.append blk2 (Instr.Un { dst = Func.fresh_temp f Mem_ty.I64; op = Ops.Neg; a = Ops.Temp t });
+  Alcotest.(check bool) "verifier rejects undominated use" true
+    (try
+       Verify.check_func f;
+       false
+     with Verify.Ill_formed _ -> true)
+
+let test_iterated_frontier () =
+  (* classic: defs in both arms of a diamond put a phi at the join *)
+  let f = mk_func 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let cfg = Cfg.build f in
+  let dom = Dominance.compute cfg in
+  let idf = Dominance.iterated_frontier dom [ 1; 2 ] in
+  Alcotest.(check (list int)) "idf is the join" [ 3 ] idf
+
+let test_instr_defs_uses () =
+  let tg = Temp.Gen.create () in
+  let t1 = Temp.Gen.fresh tg Mem_ty.I64 in
+  let t2 = Temp.Gen.fresh tg Mem_ty.I64 in
+  let ins = Instr.Bin { dst = t1; op = Ops.Add; a = Ops.Temp t2; b = Ops.Int 3L } in
+  Alcotest.(check int) "one def" 1 (List.length (Instr.defs ins));
+  Alcotest.(check int) "one use" 1 (List.length (Instr.uses ins));
+  let ld = Instr.Load { dst = t1; addr = Ops.addr_of_temp t2; mty = Mem_ty.I64;
+                        site = 0; promo = Instr.P_none } in
+  Alcotest.(check bool) "load uses its base" true
+    (List.exists (Temp.equal t2) (Instr.uses ld))
+
+let suite =
+  [ Alcotest.test_case "cfg rpo + preds" `Quick test_cfg_rpo;
+    Alcotest.test_case "cfg drops unreachable" `Quick test_cfg_unreachable;
+    Alcotest.test_case "dominators diamond" `Quick test_dominators_diamond;
+    Alcotest.test_case "dominators + natural loop" `Quick test_dominators_loop;
+    QCheck_alcotest.to_alcotest prop_dominators_match;
+    QCheck_alcotest.to_alcotest prop_frontier_correct;
+    Alcotest.test_case "critical edge splitting" `Quick test_split_critical_edges;
+    Alcotest.test_case "verifier: bad label" `Quick test_verify_catches_bad_label;
+    Alcotest.test_case "verifier: double def" `Quick test_verify_catches_double_def;
+    Alcotest.test_case "verifier: undominated use" `Quick test_verify_catches_undominated_use;
+    Alcotest.test_case "iterated frontier" `Quick test_iterated_frontier;
+    Alcotest.test_case "instr defs/uses" `Quick test_instr_defs_uses ]

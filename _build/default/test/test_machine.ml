@@ -1,0 +1,280 @@
+(* Tests for the machine model: the ALAT, the caches, the RSE, and the
+   executing pipeline (differentially against the interpreter). *)
+
+module Alat = Srp_machine.Alat
+module Cache = Srp_machine.Cache
+module Rse = Srp_machine.Rse
+module Counters = Srp_machine.Counters
+
+(* --- ALAT unit tests --- *)
+
+let test_alat_arm_check () =
+  let a = Alat.create () in
+  let tag = Alat.int_tag ~frame:1 5 in
+  ignore (Alat.insert a tag 0x1000L);
+  Alcotest.(check bool) "armed entry hits" true (Alat.check a tag ~clear:false);
+  Alcotest.(check bool) "nc keeps the entry" true (Alat.check a tag ~clear:false);
+  Alcotest.(check bool) "clr removes it" true (Alat.check a tag ~clear:true);
+  Alcotest.(check bool) "gone after clr" false (Alat.check a tag ~clear:false)
+
+let test_alat_store_invalidation () =
+  let a = Alat.create () in
+  let tag = Alat.int_tag ~frame:1 5 in
+  ignore (Alat.insert a tag 0x1000L);
+  Alcotest.(check int) "matching store invalidates" 1 (Alat.store_probe a 0x1000L);
+  Alcotest.(check bool) "check misses after store" false (Alat.check a tag ~clear:false)
+
+let test_alat_partial_tag_false_collision () =
+  let a = Alat.create ~paddr_bits:12 () in
+  let tag = Alat.int_tag ~frame:1 5 in
+  ignore (Alat.insert a tag 0x1000L);
+  (* an address 2^15 bytes away shares the 12-bit word tag *)
+  let colliding = Int64.add 0x1000L (Int64.of_int (4096 * 8)) in
+  Alcotest.(check int) "false collision invalidates (safe direction)" 1
+    (Alat.store_probe a colliding);
+  (* a non-colliding address does not *)
+  ignore (Alat.insert a tag 0x1000L);
+  Alcotest.(check int) "different tag leaves it alone" 0 (Alat.store_probe a 0x1008L);
+  Alcotest.(check bool) "still armed" true (Alat.check a tag ~clear:false)
+
+let test_alat_register_keyed () =
+  let a = Alat.create () in
+  let t1 = Alat.int_tag ~frame:1 5 in
+  let t2 = Alat.int_tag ~frame:1 6 in
+  ignore (Alat.insert a t1 0x1000L);
+  Alcotest.(check bool) "other register misses" false (Alat.check a t2 ~clear:false);
+  (* same register re-armed at a new address: only one entry *)
+  ignore (Alat.insert a t1 0x2000L);
+  Alcotest.(check int) "old address no longer matches" 0 (Alat.store_probe a 0x1000L);
+  Alcotest.(check int) "new address matches" 1 (Alat.store_probe a 0x2000L)
+
+let test_alat_frames_isolated () =
+  let a = Alat.create () in
+  let t1 = Alat.int_tag ~frame:1 5 in
+  let t2 = Alat.int_tag ~frame:2 5 in
+  ignore (Alat.insert a t1 0x1000L);
+  Alcotest.(check bool) "same reg, other frame misses" false (Alat.check a t2 ~clear:false);
+  Alat.purge_frame a ~frame:1;
+  Alcotest.(check bool) "purged frame misses" false (Alat.check a t1 ~clear:false)
+
+let test_alat_capacity_eviction () =
+  let a = Alat.create ~size:32 ~ways:2 () in
+  (* fill one set: addresses with identical set index *)
+  let mk_addr i = Int64.of_int (((i * 16 * 8) lor 0) * 1) in
+  let evicted = ref 0 in
+  for i = 0 to 3 do
+    if Alat.insert a (Alat.int_tag ~frame:1 i) (mk_addr i) then incr evicted
+  done;
+  Alcotest.(check bool) "third insert into a 2-way set evicts" true (!evicted >= 1)
+
+let test_alat_fp_tags_distinct () =
+  let a = Alat.create () in
+  let ti = Alat.int_tag ~frame:1 3 in
+  let tf = Alat.fp_tag ~frame:1 3 in
+  ignore (Alat.insert a ti 0x1000L);
+  Alcotest.(check bool) "fp tag distinct from int tag" false (Alat.check a tf ~clear:false)
+
+let test_alat_invala_all () =
+  let a = Alat.create () in
+  ignore (Alat.insert a (Alat.int_tag ~frame:1 1) 0x10L);
+  ignore (Alat.insert a (Alat.int_tag ~frame:1 2) 0x20L);
+  Alcotest.(check int) "occupancy" 2 (Alat.occupancy a);
+  Alat.invala_all a;
+  Alcotest.(check int) "empty" 0 (Alat.occupancy a)
+
+(* --- cache tests --- *)
+
+let test_cache_hit_miss () =
+  let c = Cache.create () in
+  let ctr = Counters.create () in
+  let lat1 = Cache.load_latency c ctr ~fp:false 0x4000L in
+  Alcotest.(check bool) "cold miss is slow" true (lat1 > Cache.lat_l1);
+  let lat2 = Cache.load_latency c ctr ~fp:false 0x4000L in
+  Alcotest.(check int) "warm hit is 2 cycles" Cache.lat_l1 lat2;
+  (* same line, different word: still a hit *)
+  let lat3 = Cache.load_latency c ctr ~fp:false 0x4008L in
+  Alcotest.(check int) "same line hits" Cache.lat_l1 lat3
+
+let test_cache_fp_latency () =
+  let c = Cache.create () in
+  let ctr = Counters.create () in
+  ignore (Cache.load_latency c ctr ~fp:true 0x8000L);
+  let lat = Cache.load_latency c ctr ~fp:true 0x8000L in
+  Alcotest.(check int) "fp loads cost 9 cycles even when resident" Cache.lat_fp lat
+
+let test_cache_capacity () =
+  let c = Cache.create () in
+  let ctr = Counters.create () in
+  (* stream 1 MiB: must overflow 16 KiB L1 *)
+  for i = 0 to 16_383 do
+    ignore (Cache.load_latency c ctr ~fp:false (Int64.of_int (i * 64)))
+  done;
+  let lat = Cache.load_latency c ctr ~fp:false 0x0L in
+  Alcotest.(check bool) "evicted line misses L1" true (lat > Cache.lat_l1)
+
+(* --- RSE tests --- *)
+
+let test_rse_no_overflow () =
+  let r = Rse.create ~phys_total:96 () in
+  let c = Counters.create () in
+  Alcotest.(check int) "small frames free" 0 (Rse.call r c ~nregs:30);
+  Alcotest.(check int) "still free" 0 (Rse.call r c ~nregs:30);
+  Alcotest.(check int) "ret free" 0 (Rse.ret r c);
+  Alcotest.(check int) "rse cycles zero" 0 c.Counters.rse_cycles
+
+let test_rse_overflow_spill_fill () =
+  let r = Rse.create ~phys_total:96 () in
+  let c = Counters.create () in
+  ignore (Rse.call r c ~nregs:60);
+  let spill = Rse.call r c ~nregs:60 in
+  Alcotest.(check int) "spills the overflow" 24 spill;
+  Alcotest.(check int) "spilled regs counted" 24 c.Counters.rse_spilled_regs;
+  let fill = Rse.ret r c in
+  Alcotest.(check int) "fills the caller back" 24 fill;
+  Alcotest.(check int) "rse cycles = spill + fill" 48 c.Counters.rse_cycles
+
+let test_rse_deep_recursion () =
+  let r = Rse.create ~phys_total:96 () in
+  let c = Counters.create () in
+  for _ = 1 to 10 do
+    ignore (Rse.call r c ~nregs:20)
+  done;
+  Alcotest.(check bool) "deep stack spilled" true (c.Counters.rse_spilled_regs > 0);
+  Alcotest.(check int) "max stacked peaks before spilling" 116 c.Counters.max_stacked_regs;
+  for _ = 1 to 10 do
+    ignore (Rse.ret r c)
+  done;
+  Alcotest.(check bool) "fills happened" true (c.Counters.rse_filled_regs > 0)
+
+(* --- machine vs interpreter differential on hand-written programs --- *)
+
+let differential src =
+  let ref_prog = Srp_frontend.Lower.compile_source src in
+  let code_i, out_i, _ = Srp_profile.Interp.run_program ref_prog in
+  let prog = Srp_frontend.Lower.compile_source src in
+  let tgt = Srp_target.Codegen.gen_program prog in
+  let code_m, out_m, _ = Srp_machine.Machine.run_program tgt in
+  Alcotest.(check string) "stdout agrees" out_i out_m;
+  Alcotest.(check int64) "exit code agrees" code_i code_m
+
+let test_machine_arith () =
+  differential {|
+int main() {
+  print_int(7 / 2); print_int(-7 / 2); print_int(7 % 3); print_int(-7 % 3);
+  print_int(1 << 10); print_int(-16 >> 2);
+  print_int(5 & 3); print_int(5 | 3); print_int(5 ^ 3); print_int(~5);
+  print_float(1.0 / 3.0); print_float(0.1 + 0.2);
+  print_int(3.9);
+  print_float(3);
+  return 0;
+}
+|}
+
+let test_machine_control () =
+  differential {|
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 10; i = i + 1) {
+    if (i % 2 == 0) { s = s + i; } else { s = s - 1; }
+    if (i == 7) { break; }
+  }
+  while (s > 0) { s = s - 3; }
+  do { s = s + 1; } while (s < 2);
+  print_int(s);
+  return s;
+}
+|}
+
+let test_machine_heap_structs () =
+  differential {|
+struct node { int v; double w; struct node* next; };
+int main() {
+  struct node* head = 0;
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    struct node* n = malloc(24);
+    n->v = i * 3;
+    n->w = i * 0.5;
+    n->next = head;
+    head = n;
+  }
+  int s = 0; double t = 0.0;
+  while (head != 0) { s += head->v; t = t + head->w; head = head->next; }
+  print_int(s); print_float(t);
+  return 0;
+}
+|}
+
+let test_machine_functions () =
+  differential {|
+int square(int x) { return x * x; }
+double mix(double a, int b) { return a * b + 0.5; }
+int rec(int n) { if (n <= 1) { return 1; } return n * rec(n - 1); }
+int main() {
+  print_int(square(12));
+  print_float(mix(1.5, 4));
+  print_int(rec(10));
+  return 0;
+}
+|}
+
+let test_machine_zero_init () =
+  differential {|
+int arr[4];
+double darr[4];
+int g;
+int main() {
+  print_int(arr[2]); print_float(darr[1]); print_int(g);
+  return 0;
+}
+|}
+
+let test_counters_sane () =
+  let src = {|
+int g;
+int main() {
+  int i;
+  for (i = 0; i < 100; i = i + 1) { g = g + i; }
+  print_int(g);
+  return 0;
+}
+|} in
+  let prog = Srp_frontend.Lower.compile_source src in
+  let tgt = Srp_target.Codegen.gen_program prog in
+  let _, _, c = Srp_machine.Machine.run_program tgt in
+  Alcotest.(check bool) "cycles positive" true (c.Counters.cycles > 0);
+  Alcotest.(check bool) "instrs >= loads + stores" true
+    (c.Counters.instrs_retired >= c.Counters.loads_retired + c.Counters.stores_retired);
+  (* 6-wide machine: cycles >= instrs / 6 *)
+  Alcotest.(check bool) "ipc bounded by width" true
+    (c.Counters.cycles * 6 >= c.Counters.instrs_retired)
+
+let test_machine_fuel () =
+  let src = "int main() { while (1) { } return 0; }" in
+  let prog = Srp_frontend.Lower.compile_source src in
+  let tgt = Srp_target.Codegen.gen_program prog in
+  Alcotest.check_raises "runs out of fuel" Srp_machine.Machine.Out_of_fuel (fun () ->
+      ignore (Srp_machine.Machine.run_program ~fuel:10_000 tgt))
+
+let suite =
+  [ Alcotest.test_case "alat arm/check/clear" `Quick test_alat_arm_check;
+    Alcotest.test_case "alat store invalidation" `Quick test_alat_store_invalidation;
+    Alcotest.test_case "alat partial-tag collisions" `Quick test_alat_partial_tag_false_collision;
+    Alcotest.test_case "alat keyed by register" `Quick test_alat_register_keyed;
+    Alcotest.test_case "alat frame isolation + purge" `Quick test_alat_frames_isolated;
+    Alcotest.test_case "alat capacity eviction" `Quick test_alat_capacity_eviction;
+    Alcotest.test_case "alat fp/int tags distinct" `Quick test_alat_fp_tags_distinct;
+    Alcotest.test_case "alat invala_all" `Quick test_alat_invala_all;
+    Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
+    Alcotest.test_case "cache fp latency" `Quick test_cache_fp_latency;
+    Alcotest.test_case "cache capacity" `Quick test_cache_capacity;
+    Alcotest.test_case "rse no overflow" `Quick test_rse_no_overflow;
+    Alcotest.test_case "rse spill/fill" `Quick test_rse_overflow_spill_fill;
+    Alcotest.test_case "rse deep recursion" `Quick test_rse_deep_recursion;
+    Alcotest.test_case "machine arith (vs interp)" `Quick test_machine_arith;
+    Alcotest.test_case "machine control flow (vs interp)" `Quick test_machine_control;
+    Alcotest.test_case "machine heap/structs (vs interp)" `Quick test_machine_heap_structs;
+    Alcotest.test_case "machine functions (vs interp)" `Quick test_machine_functions;
+    Alcotest.test_case "machine zero-init (vs interp)" `Quick test_machine_zero_init;
+    Alcotest.test_case "counters sane" `Quick test_counters_sane;
+    Alcotest.test_case "fuel exhaustion" `Quick test_machine_fuel ]

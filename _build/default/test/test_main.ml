@@ -1,0 +1,17 @@
+(* Test runner: all suites.  `dune runtest` runs quick + slow; ALCOTEST_QUICK
+   can restrict to the quick subset. *)
+
+let () =
+  Alcotest.run "srp"
+    [ ("support", Test_support.suite);
+      ("frontend", Test_frontend.suite);
+      ("ir", Test_ir.suite);
+      ("alias", Test_alias.suite);
+      ("ssa", Test_ssa.suite);
+      ("profile", Test_profile.suite);
+      ("core", Test_core.suite);
+      ("passes", Test_passes.suite);
+      ("target", Test_target.suite);
+      ("machine", Test_machine.suite);
+      ("random", Test_random.suite);
+      ("e2e", Test_e2e.suite) ]

@@ -1,0 +1,220 @@
+(* Tests for the interpreter substrate itself: the memory model, the
+   alias-profile contents, and the speculation policy's derived data. *)
+
+open Srp_frontend
+module Memory = Srp_profile.Memory
+module Value = Srp_profile.Value
+module Alias_profile = Srp_profile.Alias_profile
+module Location = Srp_alias.Location
+
+let test_memory_regions () =
+  let m = Memory.create () in
+  let sym =
+    Srp_ir.Symbol.Gen.fresh (Srp_ir.Symbol.Gen.create ()) ~name:"x"
+      ~storage:Srp_ir.Symbol.Global ~mty:Srp_ir.Mem_ty.I64 ~size_bytes:32
+      ~is_scalar:false
+  in
+  let base = Memory.alloc m ~size:32 ~loc:(Location.Sym sym) in
+  Alcotest.(check bool) "aligned" true (Int64.rem base 8L = 0L);
+  (match Memory.location_of_addr m (Int64.add base 24L) with
+  | Some (Location.Sym s) -> Alcotest.(check string) "inside region" "x" (Srp_ir.Symbol.name s)
+  | _ -> Alcotest.fail "expected the region");
+  Alcotest.(check (option reject)) "past the end is nobody's" None
+    (Option.map (fun _ -> ()) (Memory.location_of_addr m (Int64.add base 32L)))
+
+let test_memory_zero_init () =
+  let m = Memory.create () in
+  let base = Memory.alloc m ~size:16 ~loc:(Location.Heap 0) in
+  (match Memory.load m base with
+  | Value.Vint 0L -> ()
+  | v -> Alcotest.failf "expected zero, got %a" Value.pp v);
+  (match Memory.load_typed m base Srp_ir.Mem_ty.F64 with
+  | Value.Vflt 0.0 -> ()
+  | v -> Alcotest.failf "expected 0.0, got %a" Value.pp v)
+
+let test_memory_free_erases () =
+  let m = Memory.create () in
+  let base = Memory.alloc m ~size:8 ~loc:(Location.Heap 1) in
+  Memory.store m base (Value.Vint 7L);
+  Memory.free m base;
+  let base2 = Memory.alloc m ~size:8 ~loc:(Location.Heap 2) in
+  ignore base2;
+  (* whether or not addresses are reused, a fresh region reads zero *)
+  (match Memory.load m base2 with
+  | Value.Vint 0L -> ()
+  | v -> Alcotest.failf "fresh region not zero: %a" Value.pp v)
+
+let test_wild_access_faults () =
+  let m = Memory.create () in
+  Alcotest.(check bool) "wild load raises" true
+    (try
+       ignore (Memory.load m 0x10L);
+       false
+     with Value.Interp_error _ -> true);
+  Alcotest.(check bool) "unaligned raises" true
+    (try
+       let b = Memory.alloc m ~size:8 ~loc:(Location.Heap 3) in
+       ignore (Memory.load m (Int64.add b 4L));
+       false
+     with Value.Interp_error _ -> true)
+
+let test_profile_counts_and_targets () =
+  let src = {|
+int a; int b;
+int* p;
+int main() {
+  int i;
+  p = &a;
+  for (i = 0; i < 5; i = i + 1) { *p = i; }
+  p = &b;
+  *p = 9;
+  return 0;
+}
+|} in
+  let prog = Lower.compile_source src in
+  let _, _, profile = Srp_profile.Interp.run_program prog in
+  (* the in-loop indirect store executed 5 times, touching only a *)
+  let sites = Alias_profile.sites profile in
+  let five =
+    List.filter
+      (fun s ->
+        Alias_profile.count profile s = 5
+        && Location.Set.exists
+             (fun l -> Location.to_string l = "a")
+             (Alias_profile.targets profile s))
+      sites
+  in
+  Alcotest.(check bool) "an a-touching site ran 5 times" true (five <> []);
+  List.iter
+    (fun s ->
+      Alcotest.(check (list string)) "it touched only a" [ "a" ]
+        (List.map Location.to_string
+           (Location.Set.elements (Alias_profile.targets profile s))))
+    five
+
+let test_profile_block_counts () =
+  let src = {|
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 7; i = i + 1) { s = s + i; }
+  print_int(s);
+  return 0;
+}
+|} in
+  let prog = Lower.compile_source src in
+  let _, _, profile = Srp_profile.Interp.run_program prog in
+  (* some block ran exactly 7 times (the loop body) *)
+  let f = Srp_ir.Program.find_func prog "main" in
+  let found = ref false in
+  List.iter
+    (fun blk ->
+      let c =
+        Alias_profile.block_count profile ~func:"main"
+          ~label_id:(Srp_ir.Label.id (Srp_ir.Block.label blk))
+      in
+      if c = 7 then found := true)
+    (Srp_ir.Func.blocks f);
+  Alcotest.(check bool) "loop body counted 7" true !found
+
+let test_interp_rejects_promoted () =
+  let src = "int a; int* q; int main() { q = &a; a = 1; int x = a; *q = 2; int y = a; return x + y; }" in
+  let pprog = Lower.compile_source src in
+  let _, _, profile = Srp_profile.Interp.run_program pprog in
+  let prog = Lower.compile_source src in
+  ignore (Srp_core.Promote.run ~config:(Srp_core.Config.alat ~profile) prog);
+  (* the promoted program contains Check instructions *)
+  let has_check = ref false in
+  Srp_ir.Func.iter_instrs
+    (fun _ ins -> match ins with Srp_ir.Instr.Check _ -> has_check := true | _ -> ())
+    (Srp_ir.Program.find_func prog "main");
+  if !has_check then
+    Alcotest.(check bool) "interp refuses checks" true
+      (try
+         ignore (Srp_profile.Interp.run_program ~collect_profile:false prog);
+         false
+       with Value.Interp_error _ -> true)
+
+let test_fuel () =
+  let src = "int main() { while (1) { } return 0; }" in
+  let prog = Lower.compile_source src in
+  Alcotest.check_raises "fuel" Srp_profile.Interp.Out_of_fuel (fun () ->
+      ignore (Srp_profile.Interp.run_program ~fuel:1000 prog))
+
+let test_value_ops () =
+  let open Srp_ir.Ops in
+  Alcotest.(check bool) "div by zero raises" true
+    (try
+       ignore (Value.binop Div (Value.Vint 1L) (Value.Vint 0L));
+       false
+     with Value.Interp_error _ -> true);
+  (match Value.binop Add (Value.Vint 2L) (Value.Vint 3L) with
+  | Value.Vint 5L -> ()
+  | _ -> Alcotest.fail "add");
+  (match Value.binop FLt (Value.Vflt 1.0) (Value.Vflt 2.0) with
+  | Value.Vint 1L -> ()
+  | _ -> Alcotest.fail "flt");
+  (match Value.unop F2I (Value.Vflt 3.99) with
+  | Value.Vint 3L -> ()
+  | _ -> Alcotest.fail "f2i truncates")
+
+let suite =
+  [ Alcotest.test_case "memory regions" `Quick test_memory_regions;
+    Alcotest.test_case "memory zero init" `Quick test_memory_zero_init;
+    Alcotest.test_case "memory free erases" `Quick test_memory_free_erases;
+    Alcotest.test_case "wild access faults" `Quick test_wild_access_faults;
+    Alcotest.test_case "profile counts and targets" `Quick test_profile_counts_and_targets;
+    Alcotest.test_case "profile block counts" `Quick test_profile_block_counts;
+    Alcotest.test_case "interp rejects promoted IR" `Quick test_interp_rejects_promoted;
+    Alcotest.test_case "interpreter fuel" `Quick test_fuel;
+    Alcotest.test_case "value semantics" `Quick test_value_ops ]
+
+let test_profile_roundtrip () =
+  let src = {|
+int a; int b;
+int* p;
+int sel;
+int main() {
+  int i;
+  if (sel) { p = &a; } else { p = &b; }
+  struct_free();
+  for (i = 0; i < 9; i = i + 1) { *p = i; }
+  return 0;
+}
+void struct_free() { }
+|} in
+  (* the helper makes the source multi-function for block-count coverage *)
+  let src = String.concat "" [ src ] in
+  let prog = Lower.compile_source src in
+  let _, _, profile = Srp_profile.Interp.run_program prog in
+  let text = Alias_profile.save profile in
+  let symbols = Hashtbl.create 16 in
+  List.iter
+    (fun s -> Hashtbl.replace symbols (Srp_ir.Symbol.id s) s)
+    (Srp_ir.Program.all_symbols prog);
+  let back = Alias_profile.load ~symbols text in
+  (* every site's counts and targets survive the round trip *)
+  List.iter
+    (fun site ->
+      Alcotest.(check int)
+        (Fmt.str "count of site %d" (Srp_ir.Site.to_int site))
+        (Alias_profile.count profile site)
+        (Alias_profile.count back site);
+      Alcotest.(check bool)
+        (Fmt.str "targets of site %d" (Srp_ir.Site.to_int site))
+        true
+        (Location.Set.equal
+           (Alias_profile.targets profile site)
+           (Alias_profile.targets back site)))
+    (Alias_profile.sites profile);
+  (* block counts too *)
+  let f = Srp_ir.Program.find_func prog "main" in
+  List.iter
+    (fun blk ->
+      let lid = Srp_ir.Label.id (Srp_ir.Block.label blk) in
+      Alcotest.(check int) "block count" 
+        (Alias_profile.block_count profile ~func:"main" ~label_id:lid)
+        (Alias_profile.block_count back ~func:"main" ~label_id:lid))
+    (Srp_ir.Func.blocks f)
+
+let suite = suite @ [ Alcotest.test_case "profile save/load roundtrip" `Quick test_profile_roundtrip ]

@@ -1,0 +1,115 @@
+(* Differential testing over randomly generated MiniC programs: the
+   interpreter and the machine simulator must agree at every optimization
+   level — including speculative ALAT promotion under a profile collected
+   from the program's own run, and under an adversarially *wrong* profile
+   (empty profile: everything looks speculative), which exercises check
+   mis-speculation recovery. *)
+
+module Config = Srp_core.Config
+module Promote = Srp_core.Promote
+
+let interp_reference src =
+  let prog = Srp_frontend.Lower.compile_source src in
+  let code, out, profile = Srp_profile.Interp.run_program prog in
+  (code, out, profile)
+
+let machine_run src config =
+  let prog = Srp_frontend.Lower.compile_source src in
+  (match config with
+  | Some c -> ignore (Promote.run ~config:c prog)
+  | None -> ());
+  let tgt = Srp_target.Codegen.gen_program prog in
+  let code, out, _ = Srp_machine.Machine.run_program ~fuel:50_000_000 tgt in
+  (code, out)
+
+let check_level src name expected config =
+  let code, out = machine_run src config in
+  if out <> snd expected || code <> fst expected then
+    Alcotest.failf "%s diverged!\n--- source ---\n%s\n--- expected ---\n%s--- got ---\n%s"
+      name src (snd expected) out
+
+let run_seed seed =
+  let src = Gen_minic.program ~seed () in
+  let code, out, profile = interp_reference src in
+  let expected = (code, out) in
+  check_level src "O0" expected None;
+  check_level src "conservative" expected (Some Config.conservative);
+  check_level src "baseline(software)" expected (Some Config.baseline);
+  check_level src "alat-heuristic" expected (Some Config.alat_heuristic);
+  check_level src "alat-profile" expected (Some (Config.alat ~profile));
+  (* adversarial: an empty profile claims nothing ever aliases, so every
+     chi becomes speculative; the ALAT checks must repair all of it *)
+  let empty = Srp_profile.Alias_profile.create () in
+  check_level src "alat-wrong-profile" expected (Some (Config.alat ~profile:empty));
+  (* conservative promotion must also be interpretable *)
+  let prog = Srp_frontend.Lower.compile_source src in
+  ignore (Promote.run ~config:Config.conservative prog);
+  let _, out2, _ = Srp_profile.Interp.run_program ~collect_profile:false prog in
+  if out2 <> out then Alcotest.failf "conservative interp diverged for seed %d" seed
+
+let test_batch lo hi () =
+  for seed = lo to hi do
+    run_seed seed
+  done
+
+(* A couple of adversarial hand-picked shapes the generator rarely hits. *)
+let test_alias_storm () =
+  (* every pointer aimed at the same scalar: constant real collisions *)
+  let src = {|
+int g = 3;
+int h = 4;
+int* p0; int* p1; int* p2;
+int checksum;
+int main() {
+  p0 = &g; p1 = &g; p2 = &h;
+  int i;
+  for (i = 0; i < 30; i = i + 1) {
+    checksum = checksum + g;
+    *p0 = checksum % 13;
+    checksum = checksum + g + h;
+    *p1 = g + 1;
+    *p2 = h + 1;
+    checksum = checksum + g - h;
+  }
+  print_int(checksum); print_int(g); print_int(h);
+  return 0;
+}
+|} in
+  let code, out, profile = interp_reference src in
+  check_level src "storm O0" (code, out) None;
+  check_level src "storm alat" (code, out) (Some (Config.alat ~profile));
+  let empty = Srp_profile.Alias_profile.create () in
+  check_level src "storm alat wrong-profile" (code, out) (Some (Config.alat ~profile:empty))
+
+let test_self_aliasing_walk () =
+  (* a pointer that walks over the array it is also read through *)
+  let src = {|
+int arr[16];
+int* w;
+int checksum;
+int main() {
+  int i;
+  for (i = 0; i < 16; i = i + 1) { arr[i] = i; }
+  w = &arr[0];
+  for (i = 0; i < 15; i = i + 1) {
+    checksum = checksum + *w;
+    arr[(i + 1) % 16] = *w + 2;
+    checksum = checksum + *w;
+    w = w + 1;
+  }
+  print_int(checksum);
+  return 0;
+}
+|} in
+  let code, out, profile = interp_reference src in
+  check_level src "walk O0" (code, out) None;
+  check_level src "walk baseline" (code, out) (Some Config.baseline);
+  check_level src "walk alat" (code, out) (Some (Config.alat ~profile))
+
+let suite =
+  [ Alcotest.test_case "random differential seeds 1-40" `Quick (test_batch 1 40);
+    Alcotest.test_case "random differential seeds 41-80" `Quick (test_batch 41 80);
+    Alcotest.test_case "random differential seeds 81-120" `Slow (test_batch 81 120);
+    Alcotest.test_case "random differential seeds 121-200" `Slow (test_batch 121 200);
+    Alcotest.test_case "alias storm" `Quick test_alias_storm;
+    Alcotest.test_case "self-aliasing pointer walk" `Quick test_self_aliasing_walk ]

@@ -1,0 +1,246 @@
+(* Tests for the speculative memory-SSA layer: chi/mu annotation, the
+   speculation policy, SSA construction and its verifier. *)
+
+open Srp_frontend
+module Location = Srp_alias.Location
+module Manager = Srp_alias.Manager
+module Modref = Srp_alias.Modref
+module Spec_policy = Srp_ssa.Spec_policy
+module Annot = Srp_ssa.Annot
+module Ssa_form = Srp_ssa.Ssa_form
+
+let figure5_src = {|
+int a; int b;
+int* p;
+int sel;
+int main() {
+  if (sel == 1) { p = &a; } else { p = &b; }
+  a = 41;
+  int x = a;
+  *p = 7;
+  int y = a;
+  print_int(x + y);
+  return 0;
+}
+|}
+
+let build_ssa ?profile src =
+  let prog = Lower.compile_source src in
+  let mgr = Manager.build prog in
+  let modref = Modref.compute mgr prog in
+  let mode =
+    match profile with
+    | Some p -> Spec_policy.Profile p
+    | None -> Spec_policy.Never
+  in
+  let policy = Spec_policy.create prog mode in
+  let f = Srp_ir.Program.find_func prog "main" in
+  let annot = Annot.compute ~mgr ~modref ~policy f in
+  (prog, annot, Ssa_form.build ~annot f)
+
+(* collect all chi effects across the function *)
+let all_chis (f : Srp_ir.Func.t) (annot : Annot.t) =
+  let acc = ref [] in
+  List.iter
+    (fun blk ->
+      List.iteri
+        (fun idx _ ->
+          let a = Annot.get annot (Srp_ir.Block.label blk, idx) in
+          acc := a.Annot.chi @ !acc)
+        blk.Srp_ir.Block.instrs)
+    (Srp_ir.Func.blocks f);
+  !acc
+
+let test_chi_on_both_targets () =
+  let prog, annot, _ = build_ssa figure5_src in
+  let f = Srp_ir.Program.find_func prog "main" in
+  let chis = all_chis f annot in
+  let names = List.map (fun (e : Annot.eff) -> Location.to_string e.Annot.loc) chis in
+  Alcotest.(check bool) "chi on a" true (List.mem "a" names);
+  Alcotest.(check bool) "chi on b" true (List.mem "b" names);
+  (* without a profile nothing is speculative *)
+  Alcotest.(check bool) "no speculative chi" false
+    (List.exists (fun (e : Annot.eff) -> e.Annot.spec) chis)
+
+let test_chi_speculative_with_profile () =
+  (* train with sel = 0: p only ever points at b -> chi on a becomes
+     speculative, chi on b stays real (the paper's Figure 5) *)
+  let pprog = Lower.compile_source figure5_src in
+  let _, _, profile = Srp_profile.Interp.run_program pprog in
+  let prog, annot, _ = build_ssa ~profile figure5_src in
+  let f = Srp_ir.Program.find_func prog "main" in
+  let chis = all_chis f annot in
+  let spec_of name =
+    List.filter_map
+      (fun (e : Annot.eff) ->
+        if Location.to_string e.Annot.loc = name then Some e.Annot.spec else None)
+      chis
+  in
+  Alcotest.(check (list bool)) "chi_s on a" [ true ] (spec_of "a");
+  Alcotest.(check (list bool)) "real chi on b" [ false ] (spec_of "b")
+
+let test_ssa_versions () =
+  let _, _, ssa = build_ssa figure5_src in
+  Srp_ssa.Ssa_verify.check ssa;
+  (* the two loads of a must see different versions (the chi renumbered) *)
+  let versions = ref [] in
+  let cfg = ssa.Ssa_form.cfg in
+  for node = 0 to Srp_ir.Cfg.num_nodes cfg - 1 do
+    let blk = Srp_ir.Cfg.block cfg node in
+    List.iteri
+      (fun idx ins ->
+        match ins with
+        | Srp_ir.Instr.Load { addr = { Srp_ir.Ops.base = Srp_ir.Ops.Sym s; _ }; _ }
+          when Srp_ir.Symbol.name s = "a" -> (
+          match (Ssa_form.instr_ssa ssa (Srp_ir.Block.label blk, idx)).Ssa_form.use with
+          | Some (_, v) -> versions := v :: !versions
+          | None -> ())
+        | _ -> ())
+      blk.Srp_ir.Block.instrs
+  done;
+  match List.sort_uniq compare !versions with
+  | [ _; _ ] -> () (* two distinct versions: the chi intervened *)
+  | vs -> Alcotest.failf "expected 2 distinct versions of a, got %d" (List.length vs)
+
+let test_ssa_phi_at_merge () =
+  let _, _, ssa = build_ssa figure5_src in
+  (* p is stored in both arms: its versions must merge through a phi *)
+  let has_p_phi = ref false in
+  for node = 0 to Srp_ir.Cfg.num_nodes ssa.Ssa_form.cfg - 1 do
+    List.iter
+      (fun (p : Ssa_form.phi) ->
+        if Location.to_string p.Ssa_form.phi_loc = "p" then has_p_phi := true)
+      (Ssa_form.phis_of_node ssa node)
+  done;
+  Alcotest.(check bool) "phi for p at the merge" true !has_p_phi
+
+let test_ssa_loop_phi () =
+  let src = {|
+int g;
+int main() {
+  int i;
+  for (i = 0; i < 5; i = i + 1) { g = g + 1; }
+  print_int(g);
+  return 0;
+}
+|} in
+  let _, _, ssa = build_ssa src in
+  Srp_ssa.Ssa_verify.check ssa;
+  let phi_locs = ref [] in
+  for node = 0 to Srp_ir.Cfg.num_nodes ssa.Ssa_form.cfg - 1 do
+    List.iter
+      (fun (p : Ssa_form.phi) ->
+        phi_locs := Location.to_string p.Ssa_form.phi_loc :: !phi_locs)
+      (Ssa_form.phis_of_node ssa node)
+  done;
+  Alcotest.(check bool) "loop phi for g" true (List.mem "g" !phi_locs);
+  Alcotest.(check bool) "loop phi for i" true (List.mem "i.1" !phi_locs)
+
+let test_mu_on_indirect_load () =
+  let src = {|
+int a; int b;
+int* p;
+int sel;
+int main() {
+  if (sel == 1) { p = &a; } else { p = &b; }
+  int v = *p;
+  return v;
+}
+|} in
+  let prog = Lower.compile_source src in
+  let mgr = Manager.build prog in
+  let modref = Modref.compute mgr prog in
+  let policy = Spec_policy.create prog Spec_policy.Never in
+  let f = Srp_ir.Program.find_func prog "main" in
+  let annot = Annot.compute ~mgr ~modref ~policy f in
+  let mus = ref [] in
+  List.iter
+    (fun blk ->
+      List.iteri
+        (fun idx _ ->
+          let a = Annot.get annot (Srp_ir.Block.label blk, idx) in
+          mus := a.Annot.mu @ !mus)
+        blk.Srp_ir.Block.instrs)
+    (Srp_ir.Func.blocks f);
+  let names = List.map (fun (e : Annot.eff) -> Location.to_string e.Annot.loc) !mus in
+  Alcotest.(check bool) "mu on a" true (List.mem "a" names);
+  Alcotest.(check bool) "mu on b" true (List.mem "b" names)
+
+let test_call_chi_from_modref () =
+  let src = {|
+int g;
+void writer() { g = 5; }
+int main() { g = 1; writer(); return g; }
+|} in
+  let prog = Lower.compile_source src in
+  let mgr = Manager.build prog in
+  let modref = Modref.compute mgr prog in
+  let policy = Spec_policy.create prog Spec_policy.Never in
+  let f = Srp_ir.Program.find_func prog "main" in
+  let annot = Annot.compute ~mgr ~modref ~policy f in
+  let chis = all_chis f annot in
+  Alcotest.(check bool) "call has chi on g" true
+    (List.exists (fun (e : Annot.eff) -> Location.to_string e.Annot.loc = "g") chis)
+
+let test_dyn_mod_speculation () =
+  (* a callee whose static mod set includes g but which never dynamically
+     touches it: the call's chi on g should be speculative under the
+     profile *)
+  let src = {|
+int g; int scratch;
+int* p;
+int sel;
+void cb() { if (sel == 9) { p = &g; } else { p = &scratch; } *p = 1; }
+int main() {
+  g = 3;
+  cb();
+  print_int(g);
+  return 0;
+}
+|} in
+  let pprog = Lower.compile_source src in
+  let _, _, profile = Srp_profile.Interp.run_program pprog in
+  let prog = Lower.compile_source src in
+  let mgr = Manager.build prog in
+  let modref = Modref.compute mgr prog in
+  Alcotest.(check bool) "static mod includes g" true
+    (Location.Set.exists
+       (fun l -> Location.to_string l = "g")
+       (Modref.mod_of modref "cb"));
+  let policy = Spec_policy.create prog (Spec_policy.Profile profile) in
+  let f = Srp_ir.Program.find_func prog "main" in
+  let annot = Annot.compute ~mgr ~modref ~policy f in
+  let chis = all_chis f annot in
+  let g_spec =
+    List.filter_map
+      (fun (e : Annot.eff) ->
+        if Location.to_string e.Annot.loc = "g" then Some e.Annot.spec else None)
+      chis
+  in
+  Alcotest.(check (list bool)) "call chi_s on g" [ true ] g_spec
+
+let test_ssa_verify_all_kernels () =
+  List.iter
+    (fun (w : Srp_driver.Workload.t) ->
+      let prog = Lower.compile_source w.Srp_driver.Workload.source in
+      let mgr = Manager.build prog in
+      let modref = Modref.compute mgr prog in
+      let policy = Spec_policy.create prog Spec_policy.Heuristic in
+      List.iter
+        (fun f ->
+          let annot = Annot.compute ~mgr ~modref ~policy f in
+          let ssa = Ssa_form.build ~annot f in
+          Srp_ssa.Ssa_verify.check ssa)
+        (Srp_ir.Program.funcs prog))
+    (Srp_workloads.Registry.all ())
+
+let suite =
+  [ Alcotest.test_case "chi on both may-targets" `Quick test_chi_on_both_targets;
+    Alcotest.test_case "chi_s from the profile (Figure 5)" `Quick test_chi_speculative_with_profile;
+    Alcotest.test_case "chi renumbers versions" `Quick test_ssa_versions;
+    Alcotest.test_case "phi at merges" `Quick test_ssa_phi_at_merge;
+    Alcotest.test_case "loop phis" `Quick test_ssa_loop_phi;
+    Alcotest.test_case "mu on indirect loads" `Quick test_mu_on_indirect_load;
+    Alcotest.test_case "call chi from mod/ref" `Quick test_call_chi_from_modref;
+    Alcotest.test_case "dynamic-mod call speculation" `Quick test_dyn_mod_speculation;
+    Alcotest.test_case "ssa verifies on all kernels" `Slow test_ssa_verify_all_kernels ]

@@ -1,0 +1,249 @@
+(* Tests for the backend: register allocation invariants, code generation,
+   and the assembly shapes of the paper's figures. *)
+
+open Srp_frontend
+module Insn = Srp_target.Insn
+module Codegen = Srp_target.Codegen
+module Regalloc = Srp_target.Regalloc
+
+let compile = Lower.compile_source
+
+let gen src =
+  let prog = compile src in
+  (prog, Codegen.gen_program prog)
+
+let gen_alat src =
+  let pprog = compile src in
+  let _, _, profile = Srp_profile.Interp.run_program pprog in
+  let prog = compile src in
+  ignore (Srp_core.Promote.run ~config:(Srp_core.Config.alat ~profile) prog);
+  (prog, Codegen.gen_program prog)
+
+let func (tgt : Insn.program) name = Hashtbl.find tgt.Insn.funcs name
+
+let count_insns f pred = Array.fold_left (fun acc i -> if pred i then acc + 1 else acc) 0 f.Insn.code
+
+let test_codegen_labels_resolve () =
+  let _, tgt =
+    gen {|
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 10; i = i + 1) { if (i % 2) { s = s + i; } }
+  return s;
+}
+|}
+  in
+  let f = func tgt "main" in
+  Array.iter
+    (fun ins ->
+      match ins with
+      | Insn.Br { target } ->
+        if target < 0 || target >= Array.length f.Insn.code then
+          Alcotest.fail "unresolved branch target"
+      | Insn.Brc { ifso; ifnot; _ } ->
+        if ifso < 0 || ifso >= Array.length f.Insn.code then Alcotest.fail "bad ifso";
+        if ifnot < 0 || ifnot >= Array.length f.Insn.code then Alcotest.fail "bad ifnot"
+      | _ -> ())
+    f.Insn.code
+
+let test_codegen_register_bounds () =
+  let _, tgt =
+    gen {|
+double mix(double a, int b) { return a * b; }
+int main() {
+  int x = 3;
+  double d = mix(1.5, x);
+  print_float(d);
+  return 0;
+}
+|}
+  in
+  Hashtbl.iter
+    (fun _ f ->
+      Array.iter
+        (fun ins ->
+          let check_reg r = if r < 0 || r >= f.Insn.nregs then Alcotest.fail "reg out of bounds" in
+          let check_src = function
+            | Insn.SReg r -> check_reg r
+            | Insn.SFrg fr -> if fr < 0 || fr >= f.Insn.nfregs then Alcotest.fail "freg oob"
+            | Insn.SImm _ | Insn.SFim _ -> ()
+          in
+          match ins with
+          | Insn.Alu { dst; a; b; _ } ->
+            check_reg dst;
+            check_src a;
+            check_src b
+          | Insn.Ld { dst = Insn.DInt r; base; _ } ->
+            check_reg r;
+            check_reg base
+          | Insn.St { src; base; _ } ->
+            check_src src;
+            check_reg base
+          | _ -> ())
+        f.Insn.code)
+    tgt.Insn.funcs
+
+let test_regalloc_alat_dedicated () =
+  (* ALAT-involved temps must not share registers with anything else:
+     check by confirming the check's register equals its arming load's
+     register and is written by no other instruction class *)
+  let _, tgt =
+    gen_alat {|
+int a; int b;
+int* q;
+int sel;
+int main() {
+  if (sel) { q = &a; } else { q = &b; }
+  a = 5;
+  int x = a;
+  *q = 9;
+  int y = a;
+  print_int(x + y);
+  return 0;
+}
+|}
+  in
+  let f = func tgt "main" in
+  let check_regs = ref [] in
+  Array.iter
+    (fun ins ->
+      match ins with
+      | Insn.Ld { kind = Insn.K_ld_c _; dst = Insn.DInt r; _ } -> check_regs := r :: !check_regs
+      | _ -> ())
+    f.Insn.code;
+  Alcotest.(check bool) "at least one check" true (!check_regs <> []);
+  List.iter
+    (fun r ->
+      (* the only writers of a check register are loads of the same cell *)
+      Array.iter
+        (fun ins ->
+          match ins with
+          | Insn.Alu { dst; _ } when dst = r -> Alcotest.fail "ALAT register clobbered by ALU"
+          | Insn.Mov { dst = Insn.DInt d; _ } when d = r ->
+            Alcotest.fail "ALAT register clobbered by mov"
+          | _ -> ())
+        f.Insn.code)
+    !check_regs
+
+let test_figure1_assembly_shape () =
+  let _, tgt =
+    gen_alat {|
+int a; int b;
+int* q;
+int sel;
+int main() {
+  if (sel) { q = &a; } else { q = &b; }
+  a = 5;
+  int x = a;
+  *q = 9;
+  int y = a;
+  print_int(x + y);
+  return 0;
+}
+|}
+  in
+  let f = func tgt "main" in
+  let has_ld_a = count_insns f (function Insn.Ld { kind = Insn.K_ld_a; _ } -> true | _ -> false) in
+  let has_ld_c =
+    count_insns f (function Insn.Ld { kind = Insn.K_ld_c _; _ } -> true | _ -> false)
+  in
+  Alcotest.(check bool) "ld.a present (arming)" true (has_ld_a >= 1);
+  Alcotest.(check bool) "ld.c present (check)" true (has_ld_c >= 1)
+
+let test_figure3_assembly_shape () =
+  let _, tgt =
+    gen_alat {|
+int p; int b;
+int* q;
+int sel;
+int n;
+int main() {
+  int i;
+  int r = 0;
+  if (sel == 7) { q = &p; } else { q = &b; }
+  p = 11;
+  n = 200;
+  for (i = 0; i < n; i = i + 1) {
+    *q = i;
+    r = r + p + 1;
+  }
+  print_int(r);
+  return 0;
+}
+|}
+  in
+  let f = func tgt "main" in
+  let speculative_loads =
+    count_insns f (function
+      | Insn.Ld { kind = Insn.K_ld_sa | Insn.K_ld_a; _ } -> true
+      | _ -> false)
+  in
+  let checks =
+    count_insns f (function Insn.Ld { kind = Insn.K_ld_c _; _ } -> true | _ -> false)
+  in
+  Alcotest.(check bool) "hoisted speculative load" true (speculative_loads >= 1);
+  Alcotest.(check bool) "in-loop check" true (checks >= 1)
+
+let test_addr_hoisting () =
+  (* a global referenced many times should be materialized once in the
+     prologue, not per use *)
+  let _, tgt =
+    gen {|
+int g;
+int main() {
+  g = 1; g = g + 1; g = g + 2; g = g + 3; g = g + 4;
+  print_int(g);
+  return 0;
+}
+|}
+  in
+  let f = func tgt "main" in
+  let gaddrs = count_insns f (function Insn.Gaddr _ -> true | _ -> false) in
+  Alcotest.(check bool) "address hoisted (few Gaddr)" true (gaddrs <= 2)
+
+let test_formal_spill_prologue () =
+  let _, tgt = gen {|
+int f(int a, double b) { return a + b; }
+int main() { return f(1, 2.5); }
+|} in
+  let f = func tgt "f" in
+  (* prologue stores both formals to memory before anything else loads *)
+  let first_loads = ref 0 and stores_before = ref 0 in
+  (try
+     Array.iter
+       (fun ins ->
+         match ins with
+         | Insn.St _ -> incr stores_before
+         | Insn.Ld _ -> raise Exit
+         | _ -> ())
+       f.Insn.code
+   with Exit -> ());
+  ignore !first_loads;
+  Alcotest.(check bool) "formals spilled in prologue" true (!stores_before >= 2)
+
+let test_frame_layout_disjoint () =
+  let prog, tgt = gen {|
+int f(int a) { int x; int y[4]; x = a; y[0] = x; return y[0]; }
+int main() { return f(5); }
+|} in
+  ignore prog;
+  let f = func tgt "f" in
+  let slots = Hashtbl.fold (fun _ off acc -> off :: acc) f.Insn.slot_of_sym [] in
+  let sorted = List.sort compare slots in
+  let rec no_overlap = function
+    | a :: (b :: _ as rest) -> a <> b && no_overlap rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "distinct slots" true (no_overlap sorted);
+  Alcotest.(check bool) "frame covers slots" true
+    (List.for_all (fun o -> o < f.Insn.frame_bytes) slots)
+
+let suite =
+  [ Alcotest.test_case "labels resolve" `Quick test_codegen_labels_resolve;
+    Alcotest.test_case "register bounds" `Quick test_codegen_register_bounds;
+    Alcotest.test_case "ALAT registers dedicated" `Quick test_regalloc_alat_dedicated;
+    Alcotest.test_case "figure 1 assembly shape" `Quick test_figure1_assembly_shape;
+    Alcotest.test_case "figure 3 assembly shape" `Quick test_figure3_assembly_shape;
+    Alcotest.test_case "address hoisting" `Quick test_addr_hoisting;
+    Alcotest.test_case "formal spill prologue" `Quick test_formal_spill_prologue;
+    Alcotest.test_case "frame layout disjoint" `Quick test_frame_layout_disjoint ]
