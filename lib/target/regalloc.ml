@@ -1,0 +1,307 @@
+(* Linear-scan register allocation over virtual-register code.
+
+   Instruction selection emits code over an unbounded virtual register file
+   (integer and float classes are independent; integer vreg 0 is the stack
+   pointer and is pre-colored to physical r0).  This pass computes
+   instruction-level liveness with an iterative backward dataflow over the
+   indexed-code CFG (fall-through, branch targets, and the chk.a recovery
+   edge), condenses each virtual register to one conservative live range
+   [first, last], and renames ranges onto a compact physical file with the
+   classic linear scan of Poletto & Sarkar.  Conservative single ranges keep
+   loop-carried values safe without lifetime holes.
+
+   [pinned] registers are the ALAT-involved temps: the ALAT tags entries by
+   (frame, physical register), so the register that armed an entry (ld.a /
+   ld.sa) must be the one the check consults, and nothing else may ever be
+   renamed onto it — a reused register would let an unrelated value satisfy
+   a check.  Pinned vregs are modeled as live for the whole function, which
+   both gives them a private physical register and keeps them stable across
+   recovery blocks. *)
+
+type input = {
+  code : Insn.insn array;
+  nivregs : int; (* integer virtual registers; vreg 0 is sp *)
+  nfvregs : int;
+  live_in : int list; (* integer vregs live at entry (incoming formals) *)
+  flive_in : int list;
+  pinned : int list; (* integer vregs needing a private physical register *)
+  fpinned : int list;
+}
+
+type result = {
+  code : Insn.insn array;
+  nregs : int; (* physical integer registers, sp included *)
+  nfregs : int;
+  imap : int array; (* int vreg -> physical register, -1 if unused *)
+  fmap : int array;
+}
+
+(* --- uses / defs --- *)
+
+(* Returns (int uses, float uses, int defs, float defs).  A check load's
+   destination counts as a use as well as a def: on a hit the register must
+   still hold the armed value, so the value is semantically consumed.  The
+   chk.a tag and invala.e tag are pure uses. *)
+let uses_defs (ins : Insn.insn) : int list * int list * int list * int list =
+  let iu = ref [] and fu = ref [] and idf = ref [] and fdf = ref [] in
+  let u = function
+    | Insn.SReg r -> iu := r :: !iu
+    | Insn.SFrg f -> fu := f :: !fu
+    | Insn.SImm _ | Insn.SFim _ -> ()
+  in
+  let def_dest = function
+    | Insn.DInt r -> idf := r :: !idf
+    | Insn.DFlt f -> fdf := f :: !fdf
+  in
+  let use_dest = function
+    | Insn.DInt r -> iu := r :: !iu
+    | Insn.DFlt f -> fu := f :: !fu
+  in
+  (match ins with
+  | Insn.Movl { dst; _ } | Insn.Gaddr { dst; _ } -> idf := [ dst ]
+  | Insn.Mov { dst; src } ->
+    u src;
+    def_dest dst
+  | Insn.Alu { dst; a; b; _ } | Insn.Fcmp { dst; a; b; _ } ->
+    u a;
+    u b;
+    idf := [ dst ]
+  | Insn.Falu { dst; a; b; _ } ->
+    u a;
+    u b;
+    fdf := [ dst ]
+  | Insn.Itof { dst; src } ->
+    u src;
+    fdf := [ dst ]
+  | Insn.Ftoi { dst; src } ->
+    u src;
+    idf := [ dst ]
+  | Insn.Ld { kind; dst; base; _ } ->
+    iu := base :: !iu;
+    (match kind with Insn.K_ld_c _ -> use_dest dst | _ -> ());
+    def_dest dst
+  | Insn.St { src; base; _ } ->
+    u src;
+    iu := base :: !iu
+  | Insn.Chk_a { tag; _ } -> use_dest tag
+  | Insn.Invala_e { tag } -> use_dest tag
+  | Insn.Sel { dst; cond; if_true; if_false } ->
+    iu := cond :: !iu;
+    u if_true;
+    u if_false;
+    def_dest dst
+  | Insn.Br _ -> ()
+  | Insn.Brc { cond; _ } -> iu := [ cond ]
+  | Insn.Call { args; ret; _ } ->
+    List.iter u args;
+    Option.iter def_dest ret
+  | Insn.Ret { value } -> Option.iter u value
+  | Insn.Alloc { dst; nbytes; _ } ->
+    u nbytes;
+    idf := [ dst ]
+  | Insn.Print { what; _ } -> u what
+  | Insn.Nop -> ());
+  (!iu, !fu, !idf, !fdf)
+
+let successors (code : Insn.insn array) pc : int list =
+  match code.(pc) with
+  | Insn.Br { target } -> [ target ]
+  | Insn.Brc { cond = _; ifso; ifnot } -> [ ifso; ifnot ]
+  | Insn.Ret _ -> []
+  | Insn.Chk_a { recovery; _ } -> [ pc + 1; recovery ]
+  | _ -> if pc + 1 < Array.length code then [ pc + 1 ] else []
+
+(* --- liveness and live ranges --- *)
+
+(* One conservative closed range [lo, hi] per virtual register, or None for
+   a register that never appears.  Float vregs are reported in the second
+   array.  Entry-live and pinned vregs are widened as described above. *)
+let ranges (inp : input) : (int * int) option array * (int * int) option array
+    =
+  let n = Array.length inp.code in
+  let ni = inp.nivregs in
+  let nv = ni + inp.nfvregs in
+  let words = (nv + 62) / 63 in
+  let live = Array.init n (fun _ -> Array.make (max words 1) 0) in
+  let uses = Array.make (max n 1) [] and defs = Array.make (max n 1) [] in
+  for pc = 0 to n - 1 do
+    let iu, fu, idf, fdf = uses_defs inp.code.(pc) in
+    uses.(pc) <- iu @ List.map (fun f -> ni + f) fu;
+    defs.(pc) <- idf @ List.map (fun f -> ni + f) fdf
+  done;
+  let succs = Array.init (max n 1) (fun pc -> if pc < n then successors inp.code pc else []) in
+  let tmp = Array.make (max words 1) 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for pc = n - 1 downto 0 do
+      Array.fill tmp 0 words 0;
+      List.iter
+        (fun s ->
+          if s >= 0 && s < n then
+            let row = live.(s) in
+            for w = 0 to words - 1 do
+              tmp.(w) <- tmp.(w) lor row.(w)
+            done)
+        succs.(pc);
+      List.iter
+        (fun v -> tmp.(v / 63) <- tmp.(v / 63) land lnot (1 lsl (v mod 63)))
+        defs.(pc);
+      List.iter
+        (fun v -> tmp.(v / 63) <- tmp.(v / 63) lor (1 lsl (v mod 63)))
+        uses.(pc);
+      let row = live.(pc) in
+      let diff = ref false in
+      for w = 0 to words - 1 do
+        if tmp.(w) <> row.(w) then diff := true
+      done;
+      if !diff then begin
+        Array.blit tmp 0 row 0 words;
+        changed := true
+      end
+    done
+  done;
+  let lo = Array.make (max nv 1) max_int and hi = Array.make (max nv 1) (-1) in
+  let touch v pc =
+    if pc < lo.(v) then lo.(v) <- pc;
+    if pc > hi.(v) then hi.(v) <- pc
+  in
+  for pc = 0 to n - 1 do
+    let row = live.(pc) in
+    for w = 0 to words - 1 do
+      if row.(w) <> 0 then
+        for b = 0 to 62 do
+          if row.(w) land (1 lsl b) <> 0 then
+            let v = (w * 63) + b in
+            if v < nv then touch v pc
+        done
+    done;
+    List.iter (fun v -> touch v pc) uses.(pc);
+    List.iter (fun v -> touch v pc) defs.(pc)
+  done;
+  (* incoming formals are defined "before" instruction 0 *)
+  List.iter (fun v -> if hi.(v) >= 0 then touch v 0) inp.live_in;
+  List.iter (fun f -> if hi.(ni + f) >= 0 then touch (ni + f) 0) inp.flive_in;
+  (* ALAT registers: private for the whole function *)
+  let widen v =
+    if hi.(v) >= 0 then begin
+      lo.(v) <- 0;
+      hi.(v) <- max (n - 1) 0
+    end
+  in
+  List.iter widen inp.pinned;
+  List.iter (fun f -> widen (ni + f)) inp.fpinned;
+  let extract off count =
+    Array.init count (fun v ->
+        if hi.(off + v) < 0 then None else Some (lo.(off + v), hi.(off + v)))
+  in
+  (extract 0 ni, extract ni inp.nfvregs)
+
+(* --- linear scan --- *)
+
+(* Allocate one register class.  [reserve0] pre-colors vreg 0 onto physical
+   0 and keeps that register out of the pool (the stack pointer). *)
+let scan_class ~reserve0 (rngs : (int * int) option array) : int array * int =
+  let count = Array.length rngs in
+  let map = Array.make (max count 1) (-1) in
+  let intervals = ref [] in
+  Array.iteri
+    (fun v r ->
+      match r with
+      | Some (l, h) when not (reserve0 && v = 0) -> intervals := (v, l, h) :: !intervals
+      | _ -> ())
+    rngs;
+  let intervals =
+    List.sort
+      (fun (v1, l1, _) (v2, l2, _) ->
+        if l1 <> l2 then Int.compare l1 l2 else Int.compare v1 v2)
+      !intervals
+  in
+  let next = ref (if reserve0 then 1 else 0) in
+  if reserve0 && count > 0 then map.(0) <- 0;
+  let free = ref [] (* ascending *) in
+  let active = ref [] (* (end, phys) *) in
+  let rec insert_sorted p = function
+    | [] -> [ p ]
+    | q :: rest as l -> if p < q then p :: l else q :: insert_sorted p rest
+  in
+  List.iter
+    (fun (v, l, h) ->
+      let still, expired = List.partition (fun (e, _) -> e >= l) !active in
+      active := still;
+      List.iter (fun (_, p) -> free := insert_sorted p !free) expired;
+      let p =
+        match !free with
+        | p :: rest ->
+          free := rest;
+          p
+        | [] ->
+          let p = !next in
+          incr next;
+          p
+      in
+      map.(v) <- p;
+      active := (h, p) :: !active)
+    intervals;
+  (map, !next)
+
+(* --- rewriting --- *)
+
+let rewrite (code : Insn.insn array) (imap : int array) (fmap : int array) :
+    Insn.insn array =
+  let ir r = imap.(r) in
+  let s = function
+    | Insn.SReg r -> Insn.SReg (ir r)
+    | Insn.SFrg f -> Insn.SFrg fmap.(f)
+    | (Insn.SImm _ | Insn.SFim _) as x -> x
+  in
+  let d = function
+    | Insn.DInt r -> Insn.DInt (ir r)
+    | Insn.DFlt f -> Insn.DFlt fmap.(f)
+  in
+  Array.map
+    (fun ins ->
+      match ins with
+      | Insn.Movl { dst; imm } -> Insn.Movl { dst = ir dst; imm }
+      | Insn.Gaddr { dst; sym } -> Insn.Gaddr { dst = ir dst; sym }
+      | Insn.Mov { dst; src } -> Insn.Mov { dst = d dst; src = s src }
+      | Insn.Alu { op; dst; a; b } ->
+        Insn.Alu { op; dst = ir dst; a = s a; b = s b }
+      | Insn.Falu { op; dst; a; b } ->
+        Insn.Falu { op; dst = fmap.(dst); a = s a; b = s b }
+      | Insn.Fcmp { op; dst; a; b } ->
+        Insn.Fcmp { op; dst = ir dst; a = s a; b = s b }
+      | Insn.Itof { dst; src } -> Insn.Itof { dst = fmap.(dst); src = s src }
+      | Insn.Ftoi { dst; src } -> Insn.Ftoi { dst = ir dst; src = s src }
+      | Insn.Ld { kind; dst; base; site } ->
+        Insn.Ld { kind; dst = d dst; base = ir base; site }
+      | Insn.St { src; base; site } ->
+        Insn.St { src = s src; base = ir base; site }
+      | Insn.Chk_a { tag; recovery; site } ->
+        Insn.Chk_a { tag = d tag; recovery; site }
+      | Insn.Invala_e { tag } -> Insn.Invala_e { tag = d tag }
+      | Insn.Sel { dst; cond; if_true; if_false } ->
+        Insn.Sel
+          { dst = d dst; cond = ir cond; if_true = s if_true;
+            if_false = s if_false }
+      | Insn.Br _ as b -> b
+      | Insn.Brc { cond; ifso; ifnot } -> Insn.Brc { cond = ir cond; ifso; ifnot }
+      | Insn.Call { callee; args; ret } ->
+        Insn.Call { callee; args = List.map s args; ret = Option.map d ret }
+      | Insn.Ret { value } -> Insn.Ret { value = Option.map s value }
+      | Insn.Alloc { dst; nbytes; site } ->
+        Insn.Alloc { dst = ir dst; nbytes = s nbytes; site }
+      | Insn.Print { what; as_float } ->
+        Insn.Print { what = s what; as_float }
+      | Insn.Nop -> Insn.Nop)
+    code
+
+let run (inp : input) : result =
+  let irngs, frngs = ranges inp in
+  let imap, nregs = scan_class ~reserve0:true irngs in
+  let fmap, nfregs = scan_class ~reserve0:false frngs in
+  { code = rewrite inp.code imap fmap;
+    nregs = max nregs 1 (* sp exists even in a function with no int regs *);
+    nfregs;
+    imap;
+    fmap }

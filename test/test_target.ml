@@ -238,8 +238,120 @@ int main() { return f(5); }
   Alcotest.(check bool) "frame covers slots" true
     (List.for_all (fun o -> o < f.Insn.frame_bytes) slots)
 
+(* --- Regalloc property tests ---
+
+   Random straight-line-plus-branches code over a small virtual register
+   file, checked directly against the allocator's own range analysis:
+   allocation must stay within the reported physical file sizes, and two
+   virtual registers whose live ranges overlap must land on distinct
+   physical registers. *)
+
+let pt_nivregs = 7 (* vreg 0 is sp; generators draw from 1.. *)
+let pt_nfvregs = 4
+
+let gen_insn len =
+  let open QCheck.Gen in
+  let ireg = int_range 1 (pt_nivregs - 1) in
+  let freg = int_range 0 (pt_nfvregs - 1) in
+  let lbl = int_range 0 (len - 1) in
+  let isrc =
+    oneof
+      [ map (fun r -> Insn.SReg r) ireg;
+        map (fun i -> Insn.SImm (Int64.of_int i)) (int_range (-8) 8) ]
+  in
+  let fsrc =
+    oneof
+      [ map (fun f -> Insn.SFrg f) freg;
+        map (fun x -> Insn.SFim (float_of_int x)) (int_range 0 5) ]
+  in
+  oneof
+    [ map2 (fun d i -> Insn.Movl { dst = d; imm = Int64.of_int i }) ireg (int_range 0 99);
+      map3 (fun d a b -> Insn.Alu { op = Insn.Aadd; dst = d; a; b }) ireg isrc isrc;
+      map3 (fun d a b -> Insn.Falu { op = Insn.FAadd; dst = d; a; b }) freg fsrc fsrc;
+      map2 (fun d s -> Insn.Mov { dst = Insn.DInt d; src = s }) ireg isrc;
+      map2 (fun d s -> Insn.Mov { dst = Insn.DFlt d; src = s }) freg fsrc;
+      map2
+        (fun d b -> Insn.Ld { kind = Insn.K_ld; dst = Insn.DInt d; base = b; site = 0 })
+        ireg ireg;
+      map2 (fun s b -> Insn.St { src = s; base = b; site = 0 }) isrc ireg;
+      map3 (fun c t1 t2 -> Insn.Brc { cond = c; ifso = t1; ifnot = t2 }) ireg lbl lbl;
+      map (fun t -> Insn.Br { target = t }) lbl;
+      return Insn.Nop ]
+
+let gen_code =
+  let open QCheck.Gen in
+  int_range 1 25 >>= fun body ->
+  list_repeat body (gen_insn (body + 1)) >>= fun instrs ->
+  return (Array.of_list (instrs @ [ Insn.Ret { value = None } ]))
+
+let print_code code =
+  String.concat "\n"
+    (Array.to_list
+       (Array.mapi (fun i ins -> Fmt.str ".%d %a" i Insn.pp_insn ins) code))
+
+let arb_code = QCheck.make ~print:print_code gen_code
+
+let pt_input ?(pinned = []) code =
+  { Regalloc.code;
+    nivregs = pt_nivregs;
+    nfvregs = pt_nfvregs;
+    live_in = [];
+    flive_in = [];
+    pinned;
+    fpinned = [] }
+
+let prop_alloc_within_bounds code =
+  let res = Regalloc.run (pt_input code) in
+  Array.for_all
+    (fun ins ->
+      let iu, fu, idf, fdf = Regalloc.uses_defs ins in
+      List.for_all (fun r -> r >= 0 && r < res.Regalloc.nregs) (iu @ idf)
+      && List.for_all (fun f -> f >= 0 && f < res.Regalloc.nfregs) (fu @ fdf))
+    res.Regalloc.code
+
+let overlaps r1 r2 =
+  match (r1, r2) with
+  | Some (l1, h1), Some (l2, h2) -> not (h1 < l2 || h2 < l1)
+  | _ -> false
+
+let prop_live_vregs_disjoint code =
+  let inp = pt_input code in
+  let irngs, frngs = Regalloc.ranges inp in
+  let res = Regalloc.run inp in
+  let class_ok rngs map =
+    let n = Array.length rngs in
+    let ok = ref true in
+    for v1 = 0 to n - 1 do
+      for v2 = v1 + 1 to n - 1 do
+        if overlaps rngs.(v1) rngs.(v2) && map.(v1) = map.(v2) then ok := false
+      done
+    done;
+    !ok
+  in
+  class_ok irngs res.Regalloc.imap && class_ok frngs res.Regalloc.fmap
+
+let prop_pinned_register_private code =
+  (* a pinned vreg (an ALAT temp) gets a physical register nothing else in
+     the function is renamed onto, live-range overlap or not *)
+  let res = Regalloc.run (pt_input ~pinned:[ 1 ] code) in
+  let p = res.Regalloc.imap.(1) in
+  p < 0 (* vreg 1 unused in this sample: nothing to check *)
+  || Array.for_all
+       (fun v -> v = 1 || res.Regalloc.imap.(v) <> p)
+       (Array.init pt_nivregs (fun v -> v))
+
+let regalloc_qchecks =
+  List.map QCheck_alcotest.to_alcotest
+    [ QCheck.Test.make ~count:300 ~name:"regalloc within nregs/nfregs" arb_code
+        prop_alloc_within_bounds;
+      QCheck.Test.make ~count:300 ~name:"overlapping live ranges disjoint"
+        arb_code prop_live_vregs_disjoint;
+      QCheck.Test.make ~count:300 ~name:"pinned (ALAT) register private"
+        arb_code prop_pinned_register_private ]
+
 let suite =
-  [ Alcotest.test_case "labels resolve" `Quick test_codegen_labels_resolve;
+  regalloc_qchecks
+  @ [ Alcotest.test_case "labels resolve" `Quick test_codegen_labels_resolve;
     Alcotest.test_case "register bounds" `Quick test_codegen_register_bounds;
     Alcotest.test_case "ALAT registers dedicated" `Quick test_regalloc_alat_dedicated;
     Alcotest.test_case "figure 1 assembly shape" `Quick test_figure1_assembly_shape;
