@@ -7,6 +7,16 @@
 open Srp_driver
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+let json = Array.exists (fun a -> a = "--json") Sys.argv
+
+(* -o FILE: where --json writes the document (default stdout) *)
+let out_file =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "-o" then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 0
 
 let section title = Fmt.pr "@.==== %s ====@.@." title
 
@@ -43,6 +53,16 @@ let () =
     "Paper shape: promotion grows register frames, so RSE traffic can rise\n\
      by tens of percent, but it remains a vanishing fraction of total\n\
      cycles.@.";
+  (* machine-readable figure rows (the BENCH_*.json trajectory feed);
+     emitted before the ablations so the pass stats cover just the sweep *)
+  if json then begin
+    let doc = Srp_driver.Emit.bench_json ~quick results in
+    match out_file with
+    | Some path ->
+      Srp_driver.Emit.write_file path doc;
+      Fmt.pr "JSON results written to %s@." path
+    | None -> Fmt.pr "%s@." (Srp_obs.Json.to_string ~indent:2 doc)
+  end;
   if not quick then begin
     (* ablations on a representative subset to keep the run short *)
     let subset =

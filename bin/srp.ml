@@ -11,6 +11,8 @@
 open Cmdliner
 module Pipeline = Srp_driver.Pipeline
 module Workload = Srp_driver.Workload
+module Emit = Srp_driver.Emit
+module J = Srp_obs.Json
 
 let read_file path =
   let ic = open_in_bin path in
@@ -41,6 +43,49 @@ let level_arg =
 
 let asm_arg =
   Arg.(value & flag & info [ "S"; "asm" ] ~doc:"dump target assembly instead of IR")
+
+let ablation_conv =
+  let parse s =
+    match Pipeline.ablation_of_string s with
+    | Some a -> Ok a
+    | None ->
+      Error
+        (`Msg
+          (Fmt.str "unknown ablation %s (expected one of: %s)" s
+             (String.concat ", "
+                (List.map Pipeline.ablation_name Pipeline.all_ablations))))
+  in
+  Arg.conv (parse, fun ppf a -> Fmt.string ppf (Pipeline.ablation_name a))
+
+let ablation_arg =
+  Arg.(value & opt_all ablation_conv []
+       & info [ "ablation" ] ~docv:"NAME"
+           ~doc:"promotion-config override on top of the level (repeatable): \
+                 no-invala, no-control-spec, cascade, single-round")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"emit a machine-readable JSON document")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"stream a bounded per-cycle event trace (JSON lines) to FILE")
+
+(* Run [f] with an optional trace sink streaming to [path]. *)
+let with_trace path f =
+  match path with
+  | None -> f None
+  | Some path ->
+    let oc = open_out path in
+    let sink = Srp_obs.Trace.create oc in
+    Fun.protect
+      ~finally:(fun () ->
+        Srp_obs.Trace.close sink;
+        close_out oc;
+        Fmt.epr "trace written to %s (%d events%s)@." path
+          (Srp_obs.Trace.emitted sink)
+          (if Srp_obs.Trace.truncated sink then ", truncated" else ""))
+      (fun () -> f (Some sink))
 
 (* Build a trivial single-input workload out of a source file so the
    pipeline's profile-then-compile flow applies unchanged. *)
@@ -75,15 +120,24 @@ let compile_cmd =
     Term.(const run $ file_arg $ level_arg $ asm_arg)
 
 let run_cmd =
-  let run file level =
+  let run file level ablations json trace =
     let w = workload_of_file file in
-    let r = Pipeline.profile_compile_run w level in
-    print_string r.Pipeline.output;
-    Fmt.epr "%a@." Srp_machine.Counters.pp r.Pipeline.counters;
+    let r =
+      with_trace trace (fun trace ->
+          Pipeline.profile_compile_run ?trace ~ablations w level)
+    in
+    if json then
+      Fmt.pr "%s@." (J.to_string ~indent:2 (Emit.run_json ~name:w.Workload.name r))
+    else begin
+      print_string r.Pipeline.output;
+      Fmt.epr "%a@." Srp_machine.Counters.pp r.Pipeline.counters;
+      Fmt.epr "%a@." Srp_obs.Site_hist.pp_top_missers r.Pipeline.site_stats;
+      Fmt.epr "--- pass statistics ---@.%s@?" (Srp_obs.Stats.report ())
+    end;
     exit (Int64.to_int r.Pipeline.exit_code)
   in
   Cmd.v (Cmd.info "run" ~doc:"compile and execute on the machine simulator")
-    Term.(const run $ file_arg $ level_arg)
+    Term.(const run $ file_arg $ level_arg $ ablation_arg $ json_arg $ trace_arg)
 
 let profile_cmd =
   let out_arg =
@@ -136,22 +190,41 @@ let bench_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
   in
-  let run name =
-    let w = Srp_workloads.Registry.find name in
-    let r = Srp_driver.Experiments.run_pair w in
-    let f8 =
-      Srp_driver.Report.figure8_row ~name ~base:r.Srp_driver.Experiments.base.Pipeline.counters
-        ~spec:r.Srp_driver.Experiments.spec.Pipeline.counters
-    in
-    Fmt.pr "%s: cycles -%.2f%%, data access -%.2f%%, loads -%.2f%%@." name
-      f8.Srp_driver.Report.cpu_cycles_red f8.data_access_red f8.loads_red;
-    Fmt.pr "--- baseline counters ---@.%a@." Srp_machine.Counters.pp
-      r.Srp_driver.Experiments.base.Pipeline.counters;
-    Fmt.pr "--- speculative counters ---@.%a@." Srp_machine.Counters.pp
-      r.Srp_driver.Experiments.spec.Pipeline.counters
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"write the JSON document to FILE")
   in
-  Cmd.v (Cmd.info "bench" ~doc:"run one built-in workload at baseline and alat")
-    Term.(const run $ name_arg)
+  let run name ablations json out =
+    let w = Srp_workloads.Registry.find name in
+    let r = Srp_driver.Experiments.run_pair ~ablations w in
+    if json || out <> None then begin
+      let doc = Emit.bench_json [ r ] in
+      match out with
+      | Some path ->
+        Emit.write_file path doc;
+        Fmt.epr "bench results written to %s@." path
+      | None -> Fmt.pr "%s@." (J.to_string ~indent:2 doc)
+    end
+    else begin
+      let f8 =
+        Srp_driver.Report.figure8_row ~name ~base:r.Srp_driver.Experiments.base.Pipeline.counters
+          ~spec:r.Srp_driver.Experiments.spec.Pipeline.counters
+      in
+      Fmt.pr "%s: cycles -%.2f%%, data access -%.2f%%, loads -%.2f%%@." name
+        f8.Srp_driver.Report.cpu_cycles_red f8.data_access_red f8.loads_red;
+      Fmt.pr "--- baseline counters ---@.%a@." Srp_machine.Counters.pp
+        r.Srp_driver.Experiments.base.Pipeline.counters;
+      Fmt.pr "--- speculative counters ---@.%a@." Srp_machine.Counters.pp
+        r.Srp_driver.Experiments.spec.Pipeline.counters;
+      Fmt.pr "%a@." Srp_obs.Site_hist.pp_top_missers
+        r.Srp_driver.Experiments.spec.Pipeline.site_stats
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"run one built-in workload at baseline and alat (--json/-o for \
+             machine-readable figure rows)")
+    Term.(const run $ name_arg $ ablation_arg $ json_arg $ out_arg)
 
 let list_cmd =
   let run () =

@@ -47,36 +47,43 @@ let run ?(config = Config.baseline) (prog : Program.t) : result =
     { Ssapre.config; profile_hot = block_count_fn config;
       site_gen = prog.Program.site_gen }
   in
+  let module Stats = Srp_obs.Stats in
   let continue_ = ref true in
   let round = ref 0 in
   while !continue_ && !round < max 1 config.Config.max_rounds do
     incr round;
+    Stats.incr (Stats.counter ~pass:"promote" "rounds");
     (* fresh whole-program analyses: each round makes new temps *)
-    let mgr = Manager.build prog in
-    let modref = Modref.compute mgr prog in
+    let mgr = Stats.time ~pass:"promote" "alias" (fun () -> Manager.build prog) in
+    let modref =
+      Stats.time ~pass:"promote" "modref" (fun () -> Modref.compute mgr prog)
+    in
     let policy = policy_of_config prog config in
     let round_work = ref false in
-    List.iter
-      (fun f ->
-        let keys =
-          Expr.candidates ~indirect:false f @ Expr.candidates ~indirect:true f
-        in
-        if keys <> [] then begin
-          let cfg = Cfg.build f in
-          let collect =
-            { Expr.mgr; modref; policy; style = config.Config.check_style;
-              cascade = config.Config.cascade; cfg }
-          in
-          let before = (func_stats f).Ssapre.exprs_promoted in
-          List.iter
-            (fun key -> Ssapre.run_expr cm_ctx collect f key (func_stats f))
-            keys;
-          if (func_stats f).Ssapre.exprs_promoted > before then round_work := true
-        end)
-      (Program.funcs prog);
+    Stats.time ~pass:"promote" "ssapre" (fun () ->
+        List.iter
+          (fun f ->
+            let keys =
+              Expr.candidates ~indirect:false f @ Expr.candidates ~indirect:true f
+            in
+            if keys <> [] then begin
+              let cfg = Cfg.build f in
+              let collect =
+                { Expr.mgr; modref; policy; style = config.Config.check_style;
+                  cascade = config.Config.cascade; cfg }
+              in
+              let before = (func_stats f).Ssapre.exprs_promoted in
+              List.iter
+                (fun key -> Ssapre.run_expr cm_ctx collect f key (func_stats f))
+                keys;
+              if (func_stats f).Ssapre.exprs_promoted > before then
+                round_work := true
+            end)
+          (Program.funcs prog));
     (* expose this round's promotion temps as address bases for the next *)
-    List.iter Copy_prop.run (Program.funcs prog);
-    List.iter Copy_prop.run_local (Program.funcs prog);
+    Stats.time ~pass:"promote" "copy_prop" (fun () ->
+        List.iter Copy_prop.run (Program.funcs prog);
+        List.iter Copy_prop.run_local (Program.funcs prog));
     continue_ := !round_work
   done;
   List.iter
@@ -85,5 +92,11 @@ let run ?(config = Config.baseline) (prog : Program.t) : result =
       f.Func.ssa_temps <- false)
     (Program.funcs prog);
   Hashtbl.iter (fun _ s -> Ssapre.add_stats total s) per_func;
+  Stats.add
+    (Stats.counter ~pass:"promote" "exprs_promoted")
+    total.Ssapre.exprs_promoted;
+  Stats.add
+    (Stats.counter ~pass:"promote" "loads_eliminated")
+    (total.Ssapre.loads_eliminated_direct + total.Ssapre.loads_eliminated_indirect);
   { stats = total;
     per_func = Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_func [] }

@@ -19,10 +19,12 @@ let promote_stats (r : Pipeline.run_result) : Srp_core.Ssapre.stats =
   | Some p -> p.Srp_core.Promote.stats
   | None -> Srp_core.Ssapre.empty_stats ()
 
-(* Run one workload at baseline and ALAT levels and check equivalence. *)
-let run_pair ?fuel (w : Workload.t) : bench_result =
+(* Run one workload at baseline and ALAT levels and check equivalence.
+   [ablations] apply to the speculative build only — the baseline stays
+   the fixed reference the figures are normalized against. *)
+let run_pair ?fuel ?ablations (w : Workload.t) : bench_result =
   let base = Pipeline.profile_compile_run ?fuel w Pipeline.Baseline in
-  let spec = Pipeline.profile_compile_run ?fuel w Pipeline.Alat in
+  let spec = Pipeline.profile_compile_run ?fuel ?ablations w Pipeline.Alat in
   if base.Pipeline.output <> spec.Pipeline.output then
     raise
       (Output_mismatch

@@ -31,11 +31,44 @@ let level_name = function
 (* Collect an alias profile by interpreting the program on the train
    input. *)
 let train_profile (w : Workload.t) : Alias_profile.t =
+  Srp_obs.Stats.time ~pass:"profile" "train_interp" @@ fun () ->
   let prog = Srp_frontend.Lower.compile_source w.Workload.source in
   Workload.apply_input prog w.Workload.train;
   let interp = Srp_profile.Interp.create prog in
   ignore (Srp_profile.Interp.run interp);
   Srp_profile.Interp.profile interp
+
+(* --- ablations (ROADMAP "ablation wiring") ---
+
+   Named promotion-config overrides applied on top of the selected level,
+   so a single workload can be measured under each configuration of the
+   bench sweep (A, E, F and a round-limit probe) without running the whole
+   matrix.  Ablations B-D are level choices and already reachable via
+   [-l baseline|conservative|alat-heuristic]. *)
+
+type ablation =
+  | No_invala  (** disable the invala.e cold-path strategy (ablation A) *)
+  | No_control_spec  (** disable ld.sa hoisting (ablation E) *)
+  | Cascade  (** enable section-2.4 cascade promotion (ablation F) *)
+  | Single_round  (** max_rounds = 1: direct references only *)
+
+let all_ablations = [ No_invala; No_control_spec; Cascade; Single_round ]
+
+let ablation_name = function
+  | No_invala -> "no-invala"
+  | No_control_spec -> "no-control-spec"
+  | Cascade -> "cascade"
+  | Single_round -> "single-round"
+
+let ablation_of_string s =
+  List.find_opt (fun a -> ablation_name a = s) all_ablations
+
+let apply_ablation (a : ablation) (c : Srp_core.Config.t) : Srp_core.Config.t =
+  match a with
+  | No_invala -> { c with Srp_core.Config.use_invala = false }
+  | No_control_spec -> { c with Srp_core.Config.control_spec = false }
+  | Cascade -> { c with Srp_core.Config.cascade = true }
+  | Single_round -> { c with Srp_core.Config.max_rounds = 1 }
 
 let config_of_level (level : level) (profile : Alias_profile.t option) :
     Srp_core.Config.t option =
@@ -49,43 +82,54 @@ let config_of_level (level : level) (profile : Alias_profile.t option) :
 
 type compiled = {
   level : level;
+  ablations : ablation list;
   ir : Program.t;
   target : Srp_target.Insn.program;
   promote : Srp_core.Promote.result option;
 }
 
 (* Compile [w] at [level]; the ref input is applied to the globals before
-   code generation (static data), the profile comes from the train run. *)
-let compile ?profile ~(input : Workload.input) (w : Workload.t) (level : level) :
-    compiled =
+   code generation (static data), the profile comes from the train run.
+   [ablations] are config overrides on top of the level (no effect at O0,
+   which runs no promotion at all). *)
+let compile ?profile ?(ablations = []) ~(input : Workload.input) (w : Workload.t)
+    (level : level) : compiled =
   let ir = Srp_frontend.Lower.compile_source w.Workload.source in
   Workload.apply_input ir input;
   let promote =
     match config_of_level level profile with
     | None -> None
-    | Some config -> Some (Srp_core.Promote.run ~config ir)
+    | Some config ->
+      let config = List.fold_left (Fun.flip apply_ablation) config ablations in
+      Some (Srp_core.Promote.run ~config ir)
   in
   let target = Srp_target.Codegen.gen_program ir in
-  { level; ir; target; promote }
+  { level; ablations; ir; target; promote }
 
 type run_result = {
   compiled : compiled;
   exit_code : int64;
   output : string;
   counters : Srp_machine.Counters.t;
+  site_stats : Srp_obs.Site_hist.t;
 }
 
-let run ?fuel (c : compiled) : run_result =
-  let exit_code, output, counters = Srp_machine.Machine.run_program ?fuel c.target in
-  { compiled = c; exit_code; output; counters }
+let run ?fuel ?trace (c : compiled) : run_result =
+  let m = Srp_machine.Machine.create ?fuel ?trace c.target in
+  let exit_code = Srp_machine.Machine.run m in
+  { compiled = c; exit_code;
+    output = Srp_machine.Machine.output m;
+    counters = Srp_machine.Machine.counters m;
+    site_stats = Srp_machine.Machine.site_stats m }
 
 (* The standard experiment: profile on train, compile at [level], run on
    ref. *)
-let profile_compile_run ?fuel (w : Workload.t) (level : level) : run_result =
+let profile_compile_run ?fuel ?trace ?ablations (w : Workload.t) (level : level) :
+    run_result =
   let profile =
     match level with
     | Alat -> Some (train_profile w)
     | O0 | Conservative | Baseline | Alat_heuristic -> None
   in
-  let c = compile ?profile ~input:w.Workload.ref_ w level in
-  run ?fuel c
+  let c = compile ?profile ?ablations ~input:w.Workload.ref_ w level in
+  run ?fuel ?trace c

@@ -23,17 +23,35 @@ val train_profile : Workload.t -> Srp_profile.Alias_profile.t
 val config_of_level :
   level -> Srp_profile.Alias_profile.t option -> Srp_core.Config.t option
 
+(** Named promotion-config overrides applied on top of a level, so single
+    workloads can be measured per bench-sweep configuration (ROADMAP
+    "ablation wiring").  Ablations B-D of the sweep are level choices and
+    already reachable via [-l]. *)
+type ablation =
+  | No_invala  (** disable the invala.e cold-path strategy (ablation A) *)
+  | No_control_spec  (** disable ld.sa hoisting (ablation E) *)
+  | Cascade  (** enable section-2.4 cascade promotion (ablation F) *)
+  | Single_round  (** max_rounds = 1: direct references only *)
+
+val all_ablations : ablation list
+val ablation_name : ablation -> string
+val ablation_of_string : string -> ablation option
+val apply_ablation : ablation -> Srp_core.Config.t -> Srp_core.Config.t
+
 type compiled = {
   level : level;
+  ablations : ablation list;
   ir : Program.t;  (** the (possibly promoted) IR *)
   target : Srp_target.Insn.program;
   promote : Srp_core.Promote.result option;
 }
 
 (** Compile a workload at a level; [input] (usually the ref input) is baked
-    into the global initializers before promotion and code generation. *)
+    into the global initializers before promotion and code generation.
+    [ablations] override the level's promotion config (no effect at O0). *)
 val compile :
   ?profile:Srp_profile.Alias_profile.t ->
+  ?ablations:ablation list ->
   input:Workload.input ->
   Workload.t ->
   level ->
@@ -44,10 +62,18 @@ type run_result = {
   exit_code : int64;
   output : string;
   counters : Srp_machine.Counters.t;
+  site_stats : Srp_obs.Site_hist.t;
+      (** per-site event attribution (pfmon stand-in) *)
 }
 
-val run : ?fuel:int -> compiled -> run_result
+val run : ?fuel:int -> ?trace:Srp_obs.Trace.sink -> compiled -> run_result
 
 (** The standard experiment protocol: profile on train (for [Alat]),
     compile at [level], execute on ref. *)
-val profile_compile_run : ?fuel:int -> Workload.t -> level -> run_result
+val profile_compile_run :
+  ?fuel:int ->
+  ?trace:Srp_obs.Trace.sink ->
+  ?ablations:ablation list ->
+  Workload.t ->
+  level ->
+  run_result

@@ -88,6 +88,36 @@ let figure11_row ~name ~(base : C.t) ~(spec : C.t) : fig11_row =
       (if spec.C.cycles = 0 then 0.0
        else 100.0 *. float_of_int spec.C.rse_cycles /. float_of_int spec.C.cycles) }
 
+(* --- JSON rows (the machine-readable form of Figures 8-11) --- *)
+
+module J = Srp_obs.Json
+
+let fig8_json (r : fig8_row) : J.t =
+  J.Obj
+    [ ("benchmark", J.String r.f8_name);
+      ("cpu_cycles_reduction_pct", J.Float r.cpu_cycles_red);
+      ("data_access_reduction_pct", J.Float r.data_access_red);
+      ("loads_reduction_pct", J.Float r.loads_red) ]
+
+let fig9_json (r : fig9_row) : J.t =
+  J.Obj
+    [ ("benchmark", J.String r.f9_name);
+      ("direct_pct", J.Float r.direct_pct);
+      ("indirect_pct", J.Float r.indirect_pct);
+      ("eliminated_sites", J.Int r.eliminated_total) ]
+
+let fig10_json (r : fig10_row) : J.t =
+  J.Obj
+    [ ("benchmark", J.String r.f10_name);
+      ("checks_per_load_pct", J.Float r.checks_per_load);
+      ("misspeculation_pct", J.Float r.misspec_ratio) ]
+
+let fig11_json (r : fig11_row) : J.t =
+  J.Obj
+    [ ("benchmark", J.String r.f11_name);
+      ("rse_cycles_increase_pct", J.Float r.rse_increase);
+      ("rse_total_cycles_pct", J.Float r.rse_fraction) ]
+
 (* --- table rendering --- *)
 
 let pct = Fmt.str "%.2f"

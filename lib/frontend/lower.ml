@@ -502,9 +502,16 @@ let lower_program (tp : Typed_ast.tprogram) : Program.t =
    profile's block counts) is identical between the profiling compile and
    the optimizing compile. *)
 let compile_source (src : string) : Program.t =
-  let ast = Parser.parse_program src in
-  let tp = Typecheck.check_program ast in
-  let prog = lower_program tp in
-  List.iter Loops.split_critical_edges (Program.funcs prog);
-  Verify.check_program prog;
+  let module Stats = Srp_obs.Stats in
+  let ast = Stats.time ~pass:"frontend" "parse" (fun () -> Parser.parse_program src) in
+  let tp =
+    Stats.time ~pass:"frontend" "typecheck" (fun () -> Typecheck.check_program ast)
+  in
+  let prog = Stats.time ~pass:"frontend" "lower" (fun () -> lower_program tp) in
+  Stats.time ~pass:"frontend" "verify" (fun () ->
+      List.iter Loops.split_critical_edges (Program.funcs prog);
+      Verify.check_program prog);
+  Stats.add
+    (Stats.counter ~pass:"frontend" "functions_lowered")
+    (List.length (Program.funcs prog));
   prog

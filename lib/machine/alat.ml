@@ -29,6 +29,9 @@ type entry = {
   mutable valid : bool;
   mutable tag : tag;
   mutable paddr : int;
+  (* IR site id of the advanced load that armed the entry, for per-site
+     event attribution (-1 when armed outside the machine, e.g. tests) *)
+  mutable site : int;
 }
 
 type t = {
@@ -44,7 +47,7 @@ let create ?(size = 32) ?ways ?(paddr_bits = 12) () =
   let n_sets = max 1 (size / ways) in
   { entries =
       Array.init (n_sets * ways) (fun _ ->
-          { valid = false; tag = { frame = 0; reg = 0 }; paddr = 0 });
+          { valid = false; tag = { frame = 0; reg = 0 }; paddr = 0; site = -1 });
     n_sets; ways; victim = 0; paddr_bits }
 
 let int_tag ~frame r = { frame; reg = 2 * r }
@@ -63,9 +66,9 @@ let remove t tag =
     (fun e -> if e.valid && same_tag e.tag tag then e.valid <- false)
     t.entries
 
-(* Allocate an entry for an advanced load.  Returns true if a valid entry
-   had to be evicted for capacity. *)
-let insert t tag (addr : int64) : bool =
+(* Allocate an entry for an advanced load.  Returns the arming site of the
+   valid entry that had to be evicted for capacity, if any. *)
+let insert ?(site = -1) t tag (addr : int64) : int option =
   remove t tag;
   let paddr = partial t addr in
   let set = set_of t paddr in
@@ -78,16 +81,17 @@ let insert t tag (addr : int64) : bool =
   in
   let slot, evicted =
     match find_free 0 with
-    | Some s -> s, false
+    | Some s -> s, None
     | None ->
       let s = base + (t.victim mod t.ways) in
       t.victim <- t.victim + 1;
-      s, true
+      s, Some t.entries.(s).site
   in
   let e = t.entries.(slot) in
   e.valid <- true;
   e.tag <- tag;
   e.paddr <- paddr;
+  e.site <- site;
   evicted
 
 (* Does a valid entry exist for [tag]?  [clear] removes it on a hit. *)
@@ -103,18 +107,22 @@ let check t tag ~clear : bool =
   !hit
 
 (* A retired store: invalidate every entry whose partial address matches.
-   Returns the number of entries invalidated. *)
-let store_probe t (addr : int64) : int =
+   Returns the arming sites of the entries invalidated (per-site
+   attribution charges the invalidation to the load that armed the victim,
+   as pfmon's event sampling would). *)
+let store_probe_sites t (addr : int64) : int list =
   let paddr = partial t addr in
-  let n = ref 0 in
+  let victims = ref [] in
   Array.iter
     (fun e ->
       if e.valid && e.paddr = paddr then begin
         e.valid <- false;
-        incr n
+        victims := e.site :: !victims
       end)
     t.entries;
-  !n
+  !victims
+
+let store_probe t (addr : int64) : int = List.length (store_probe_sites t addr)
 
 let invala_all t = Array.iter (fun e -> e.valid <- false) t.entries
 

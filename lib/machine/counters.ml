@@ -32,18 +32,39 @@ let create () =
     rse_spilled_regs = 0; rse_filled_regs = 0; branch_mispredicts = 0;
     l1_hits = 0; l1_misses = 0; l2_misses = 0; max_stacked_regs = 0 }
 
+(* The one list every consumer derives from.  The pretty-printer, the JSON
+   encoder and the per-site cross-check all go through [to_fields], and the
+   field-count guard test compares its length against the runtime size of
+   the record — adding a counter without listing it here fails the test
+   instead of silently vanishing from reports (which is exactly how
+   rse_spilled_regs went missing once). *)
+let to_fields c =
+  [ ("cycles", c.cycles);
+    ("instrs_retired", c.instrs_retired);
+    ("loads_retired", c.loads_retired);
+    ("fp_loads_retired", c.fp_loads_retired);
+    ("stores_retired", c.stores_retired);
+    ("checks_retired", c.checks_retired);
+    ("check_failures", c.check_failures);
+    ("alat_inserts", c.alat_inserts);
+    ("alat_evictions", c.alat_evictions);
+    ("alat_store_invalidations", c.alat_store_invalidations);
+    ("invala_retired", c.invala_retired);
+    ("data_access_cycles", c.data_access_cycles);
+    ("rse_cycles", c.rse_cycles);
+    ("rse_spilled_regs", c.rse_spilled_regs);
+    ("rse_filled_regs", c.rse_filled_regs);
+    ("branch_mispredicts", c.branch_mispredicts);
+    ("l1_hits", c.l1_hits);
+    ("l1_misses", c.l1_misses);
+    ("l2_misses", c.l2_misses);
+    ("max_stacked_regs", c.max_stacked_regs) ]
+
 let pp ppf c =
-  Fmt.pf ppf
-    "@[<v>cycles                %d@,instructions retired  %d@,\
-     loads retired         %d@,fp loads retired      %d@,\
-     stores retired        %d@,checks retired        %d@,\
-     check failures        %d@,alat inserts          %d@,\
-     alat evictions        %d@,alat store invalid.   %d@,\
-     invala retired        %d@,data access cycles    %d@,\
-     rse cycles            %d@,branch mispredicts    %d@,\
-     L1 hits/misses        %d/%d@,L2 misses             %d@]"
-    c.cycles c.instrs_retired c.loads_retired c.fp_loads_retired
-    c.stores_retired c.checks_retired c.check_failures c.alat_inserts
-    c.alat_evictions c.alat_store_invalidations c.invala_retired
-    c.data_access_cycles c.rse_cycles c.branch_mispredicts c.l1_hits
-    c.l1_misses c.l2_misses
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf (name, v) -> Fmt.pf ppf "%-26s %d" name v))
+    (to_fields c)
+
+let to_json c : Srp_obs.Json.t =
+  Srp_obs.Json.Obj
+    (List.map (fun (k, v) -> (k, Srp_obs.Json.Int v)) (to_fields c))

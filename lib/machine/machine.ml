@@ -19,6 +19,9 @@ open Srp_target
 module Value = Srp_profile.Value
 module Memory = Srp_profile.Memory
 module Location = Srp_alias.Location
+module Site_hist = Srp_obs.Site_hist
+module Trace = Srp_obs.Trace
+module J = Srp_obs.Json
 
 exception Machine_error of string
 
@@ -47,6 +50,8 @@ type t = {
   cache : Cache.t;
   rse : Rse.t;
   c : Counters.t;
+  site_stats : Site_hist.t;
+  trace : Trace.sink option;
   output : Buffer.t;
   mutable cycle : int;
   mutable group_slots : int; (* instructions issued in the current cycle *)
@@ -62,7 +67,7 @@ let mem_per_cycle = 2
 let fp_per_cycle = 2
 let mispredict_penalty = 6
 
-let create ?(fuel = 200_000_000) (prog : Insn.program) : t =
+let create ?(fuel = 200_000_000) ?trace (prog : Insn.program) : t =
   let mem = Memory.create () in
   let globals = Hashtbl.create 16 in
   List.iter
@@ -85,9 +90,48 @@ let create ?(fuel = 200_000_000) (prog : Insn.program) : t =
           vs))
     prog.Insn.globals;
   { prog; mem; globals; alat = Alat.create (); cache = Cache.create ();
-    rse = Rse.create (); c = Counters.create (); output = Buffer.create 256;
+    rse = Rse.create (); c = Counters.create ();
+    site_stats = Site_hist.create (); trace; output = Buffer.create 256;
     cycle = 0; group_slots = 0; group_mem = 0; group_fp = 0; frame_uid = 0;
     fuel; sp = 0x4000_0000L }
+
+(* --- observability helpers --- *)
+
+(* Per-site event attribution (pfmon stand-in): every ALAT-relevant event
+   is charged to the IR site that caused it. *)
+let ev m ~site e = Site_hist.record m.site_stats ~site e
+
+(* Trace emission is free when no sink is attached. *)
+let tr m kind fields =
+  match m.trace with
+  | None -> ()
+  | Some sink -> Trace.emit sink ~cycle:m.cycle kind fields
+
+let op_name : Insn.insn -> string = function
+  | Insn.Movl _ -> "movl"
+  | Insn.Gaddr _ -> "gaddr"
+  | Insn.Mov _ -> "mov"
+  | Insn.Alu _ -> "alu"
+  | Insn.Falu _ -> "falu"
+  | Insn.Fcmp _ -> "fcmp"
+  | Insn.Itof _ -> "itof"
+  | Insn.Ftoi _ -> "ftoi"
+  | Insn.Ld { kind = Insn.K_ld; _ } -> "ld"
+  | Insn.Ld { kind = Insn.K_ld_a; _ } -> "ld.a"
+  | Insn.Ld { kind = Insn.K_ld_sa; _ } -> "ld.sa"
+  | Insn.Ld { kind = Insn.K_ld_c { clear = true }; _ } -> "ld.c.clr"
+  | Insn.Ld { kind = Insn.K_ld_c { clear = false }; _ } -> "ld.c.nc"
+  | Insn.St _ -> "st"
+  | Insn.Chk_a _ -> "chk.a"
+  | Insn.Invala_e _ -> "invala.e"
+  | Insn.Sel _ -> "sel"
+  | Insn.Br _ -> "br"
+  | Insn.Brc _ -> "brc"
+  | Insn.Call _ -> "call"
+  | Insn.Ret _ -> "ret"
+  | Insn.Alloc _ -> "alloc"
+  | Insn.Print _ -> "print"
+  | Insn.Nop -> "nop"
 
 (* --- timing helpers --- *)
 
@@ -113,7 +157,8 @@ let wait_until m ~ready ~mem_src =
       let stall = ready - m.cycle in
       m.cycle <- ready;
       if mem_src then
-        m.c.Counters.data_access_cycles <- m.c.Counters.data_access_cycles + stall
+        m.c.Counters.data_access_cycles <- m.c.Counters.data_access_cycles + stall;
+      tr m "stall" [ ("n", J.Int stall); ("mem", J.Bool mem_src) ]
     end
   end
 
@@ -251,9 +296,12 @@ let rec exec_function m (func : Insn.func) (args : Value.t list) : Value.t optio
     args;
   (* RSE charge for the new register frame *)
   let spill = Rse.call m.rse m.c ~nregs:func.Insn.nregs in
+  if spill > 0 then
+    tr m "rse.spill" [ ("regs", J.Int spill); ("f", J.String func.Insn.name) ];
   advance_cycles m spill;
   let result = exec_from m fr 0 in
   let fill = Rse.ret m.rse m.c in
+  if fill > 0 then tr m "rse.fill" [ ("regs", J.Int fill) ];
   advance_cycles m fill;
   Alat.purge_frame m.alat ~frame:fr.uid;
   Memory.free m.mem frame_base;
@@ -264,6 +312,14 @@ and exec_from m fr pc : Value.t option =
   if pc < 0 || pc >= Array.length fr.func.Insn.code then
     merror "%s: pc %d out of range" fr.func.Insn.name pc;
   let ins = fr.func.Insn.code.(pc) in
+  (* per-instruction retire record; the field list is only built when a
+     sink is attached *)
+  (match m.trace with
+  | None -> ()
+  | Some _ ->
+    tr m "i"
+      [ ("f", J.String fr.func.Insn.name); ("pc", J.Int pc);
+        ("op", J.String (op_name ins)) ]);
   match ins with
   | Insn.Movl { dst; imm } ->
     issue_slot m ~mem:false ~fp:false;
@@ -310,32 +366,36 @@ and exec_from m fr pc : Value.t option =
     issue_slot m ~mem:false ~fp:true;
     write_int fr dst (Value.Vint (Int64.of_float (Value.to_flt v))) ~ready:(m.cycle + 4) ~mem:false;
     exec_from m fr (pc + 1)
-  | Insn.Ld { kind; dst; base; site = _ } -> exec_load m fr pc kind dst base
-  | Insn.St { src; base; site = _ } ->
+  | Insn.Ld { kind; dst; base; site } -> exec_load m fr pc kind dst base site
+  | Insn.St { src; base; site } ->
     let v = read_src fr m src in
     let a = Value.to_int (read_int fr m base) in
     issue_slot m ~mem:true ~fp:false;
     Memory.store m.mem a v;
     Cache.store_touch m.cache a;
     m.c.Counters.stores_retired <- m.c.Counters.stores_retired + 1;
-    let inv = Alat.store_probe m.alat a in
+    ev m ~site Site_hist.Stores_retired;
+    let victims = Alat.store_probe_sites m.alat a in
+    let inv = List.length victims in
     m.c.Counters.alat_store_invalidations <-
       m.c.Counters.alat_store_invalidations + inv;
-    if inv > 0 && Sys.getenv_opt "SRP_TRACE_INV" <> None
-       && m.c.Counters.alat_store_invalidations < 40
-    then
-      Fmt.epr "[inv] store addr=0x%Lx loc=%a killed %d entries@." a
-        (Fmt.option Location.pp)
-        (Memory.location_of_addr m.mem a)
-        inv;
+    (* the invalidation is charged to the load site whose entry died *)
+    List.iter (fun vs -> ev m ~site:vs Site_hist.Alat_store_invalidations) victims;
+    if inv > 0 then
+      tr m "alat.inval"
+        [ ("site", J.Int site); ("addr", J.String (Fmt.str "0x%Lx" a));
+          ("victims", J.Arr (List.map (fun s -> J.Int s) victims)) ];
     exec_from m fr (pc + 1)
-  | Insn.Chk_a { tag; recovery; site = _ } ->
+  | Insn.Chk_a { tag; recovery; site } ->
     issue_slot m ~mem:false ~fp:false;
     m.c.Counters.checks_retired <- m.c.Counters.checks_retired + 1;
+    ev m ~site Site_hist.Checks_retired;
     if Alat.check m.alat (alat_tag fr tag) ~clear:false then exec_from m fr (pc + 1)
     else begin
       (* branch to recovery: a light trap plus pipeline redirect *)
       m.c.Counters.check_failures <- m.c.Counters.check_failures + 1;
+      ev m ~site Site_hist.Check_failures;
+      tr m "chk.a.fail" [ ("site", J.Int site); ("recovery", J.Int recovery) ];
       advance_cycles m (mispredict_penalty + 10);
       exec_from m fr recovery
     end
@@ -364,6 +424,7 @@ and exec_from m fr pc : Value.t option =
     let predicted_taken = ifso < pc in
     if taken <> predicted_taken then begin
       m.c.Counters.branch_mispredicts <- m.c.Counters.branch_mispredicts + 1;
+      tr m "br.mispredict" [ ("pc", J.Int pc); ("taken", J.Bool taken) ];
       advance_cycles m mispredict_penalty
     end
     else if taken then new_group m;
@@ -406,9 +467,8 @@ and exec_from m fr pc : Value.t option =
     issue_slot m ~mem:false ~fp:false;
     exec_from m fr (pc + 1)
 
-and exec_load m fr pc (kind : Insn.ld_kind) (dst : Insn.dest) base : Value.t option =
-  let dbg_site = match fr.func.Insn.code.(pc) with Insn.Ld { site; _ } -> site | _ -> -1 in
-  ignore dbg_site;
+and exec_load m fr pc (kind : Insn.ld_kind) (dst : Insn.dest) base site :
+    Value.t option =
   let fp = match dst with Insn.DFlt _ -> true | Insn.DInt _ -> false in
   let a = Value.to_int (read_int fr m base) in
   (* a check load is "processed like a no-op when the check is successful"
@@ -421,35 +481,45 @@ and exec_load m fr pc (kind : Insn.ld_kind) (dst : Insn.dest) base : Value.t opt
     let lat = Cache.load_latency m.cache m.c ~fp a in
     let v = coerce_loaded dst (Memory.load m.mem a) in
     m.c.Counters.loads_retired <- m.c.Counters.loads_retired + 1;
-    if fp then m.c.Counters.fp_loads_retired <- m.c.Counters.fp_loads_retired + 1;
+    ev m ~site Site_hist.Loads_retired;
+    if fp then begin
+      m.c.Counters.fp_loads_retired <- m.c.Counters.fp_loads_retired + 1;
+      ev m ~site Site_hist.Fp_loads_retired
+    end;
     write_dest fr dst v ~ready:(m.cycle + lat) ~mem:true
+  in
+  (* arm an ALAT entry and attribute the insert (and any capacity
+     eviction, charged to the evicted entry's arming site) *)
+  let arm () =
+    m.c.Counters.alat_inserts <- m.c.Counters.alat_inserts + 1;
+    ev m ~site Site_hist.Alat_inserts;
+    match Alat.insert ~site m.alat tag a with
+    | None -> ()
+    | Some victim_site ->
+      m.c.Counters.alat_evictions <- m.c.Counters.alat_evictions + 1;
+      ev m ~site:victim_site Site_hist.Alat_evictions;
+      tr m "alat.evict" [ ("site", J.Int site); ("victim", J.Int victim_site) ]
   in
   (match kind with
   | Insn.K_ld -> do_load ()
   | Insn.K_ld_a ->
     do_load ();
-    m.c.Counters.alat_inserts <- m.c.Counters.alat_inserts + 1;
-    if Sys.getenv_opt "SRP_TRACE_INV" <> None && m.c.Counters.alat_inserts < 40
-    then
-      Fmt.epr "[arm] %s ld.a addr=0x%Lx loc=%a@." fr.func.Insn.name a
-        (Fmt.option Location.pp)
-        (Memory.location_of_addr m.mem a);
-    if Alat.insert m.alat tag a then
-      m.c.Counters.alat_evictions <- m.c.Counters.alat_evictions + 1
+    tr m "alat.arm" [ ("site", J.Int site); ("addr", J.String (Fmt.str "0x%Lx" a)) ];
+    arm ()
   | Insn.K_ld_sa -> (
     (* control-speculative: defer faults with NaT, no ALAT entry on fault *)
     match Memory.location_of_addr m.mem a with
     | Some _ ->
       do_load ();
-      m.c.Counters.alat_inserts <- m.c.Counters.alat_inserts + 1;
-      if Alat.insert m.alat tag a then
-        m.c.Counters.alat_evictions <- m.c.Counters.alat_evictions + 1
+      arm ()
     | None -> (
+      tr m "ld.sa.nat" [ ("site", J.Int site) ];
       match dst with
       | Insn.DInt r -> fr.inat.(r) <- true
       | Insn.DFlt f -> fr.fnat.(f) <- true))
   | Insn.K_ld_c { clear } ->
     m.c.Counters.checks_retired <- m.c.Counters.checks_retired + 1;
+    ev m ~site Site_hist.Checks_retired;
     if Alat.check m.alat tag ~clear then begin
       (* hit: the register already holds valid data; zero-latency *)
       (match dst with
@@ -458,24 +528,18 @@ and exec_load m fr pc (kind : Insn.ld_kind) (dst : Insn.dest) base : Value.t opt
     end
     else begin
       m.c.Counters.check_failures <- m.c.Counters.check_failures + 1;
-      if Sys.getenv_opt "SRP_TRACE_INV" <> None && m.c.Counters.check_failures < 40
-      then
-        Fmt.epr "[miss] %s ld.c %a site=%d addr=0x%Lx loc=%a@." fr.func.Insn.name
-          Insn.pp_dest dst dbg_site a
-          (Fmt.option Location.pp)
-          (Memory.location_of_addr m.mem a);
+      ev m ~site Site_hist.Check_failures;
+      tr m "ld.c.miss"
+        [ ("site", J.Int site); ("addr", J.String (Fmt.str "0x%Lx" a)) ];
       do_load ();
-      if not clear then begin
-        m.c.Counters.alat_inserts <- m.c.Counters.alat_inserts + 1;
-        if Alat.insert m.alat tag a then
-          m.c.Counters.alat_evictions <- m.c.Counters.alat_evictions + 1
-      end
+      if not clear then arm ()
     end);
   exec_from m fr (pc + 1)
 
 (* --- entry points --- *)
 
 let run (m : t) : int64 =
+  Srp_obs.Stats.time ~pass:"machine" "simulate" @@ fun () ->
   let main =
     match Hashtbl.find_opt m.prog.Insn.funcs "main" with
     | Some f -> f
@@ -484,13 +548,17 @@ let run (m : t) : int64 =
   let r = exec_function m main [] in
   new_group m;
   m.c.Counters.cycles <- m.cycle;
+  Srp_obs.Stats.add
+    (Srp_obs.Stats.counter ~pass:"machine" "instructions_retired")
+    m.c.Counters.instrs_retired;
   match r with Some v -> Value.to_int v | None -> 0L
 
 let output m = Buffer.contents m.output
 let counters m = m.c
+let site_stats m = m.site_stats
 
 (* Compile-and-run convenience used everywhere downstream. *)
-let run_program ?fuel (prog : Insn.program) : int64 * string * Counters.t =
-  let m = create ?fuel prog in
+let run_program ?fuel ?trace (prog : Insn.program) : int64 * string * Counters.t =
+  let m = create ?fuel ?trace prog in
   let code = run m in
   (code, output m, counters m)

@@ -20,8 +20,10 @@ exception Out_of_fuel
 type t
 
 (** Load a target program: globals placed and initialized, counters zero.
-    [fuel] bounds retired instructions (default 200M). *)
-val create : ?fuel:int -> Srp_target.Insn.program -> t
+    [fuel] bounds retired instructions (default 200M).  [trace] attaches a
+    bounded per-cycle event sink (retires, stalls, ALAT arm/evict/
+    invalidate/check events, RSE traffic) — free when absent. *)
+val create : ?fuel:int -> ?trace:Srp_obs.Trace.sink -> Srp_target.Insn.program -> t
 
 (** Execute [main]; returns its exit value.  Total cycles land in the
     counters. *)
@@ -32,6 +34,14 @@ val output : t -> string
 
 val counters : t -> Counters.t
 
+(** Per-site event attribution accumulated during {!run}: every ALAT
+    insert/eviction/invalidation, check and retired load/store charged to
+    its originating IR site (the pfmon event-sampling stand-in).  Per-event
+    totals equal the corresponding global counters. *)
+val site_stats : t -> Srp_obs.Site_hist.t
+
 (** [run_program prog] = create + run; returns
     (exit code, output, counters). *)
-val run_program : ?fuel:int -> Srp_target.Insn.program -> int64 * string * Counters.t
+val run_program :
+  ?fuel:int -> ?trace:Srp_obs.Trace.sink -> Srp_target.Insn.program ->
+  int64 * string * Counters.t

@@ -1,0 +1,118 @@
+(* Per-site event attribution — the pfmon event-sampling stand-in.
+
+   pfmon on a real Itanium can sample which instruction address caused an
+   ALAT event; our machine knows something better — the stable IR site id
+   every load/store/check carries from lowering onward.  The machine
+   records each memory-system event against its originating site here,
+   which is what lets a report say *which load site* mis-speculates (and
+   lets tests assert that per-site sums equal the global counters).
+
+   Event names deliberately match the Counters.t field names so the
+   cross-check between histogram and global counters is by-name. *)
+
+type event =
+  | Loads_retired
+  | Fp_loads_retired
+  | Stores_retired
+  | Alat_inserts
+  | Alat_evictions
+  | Alat_store_invalidations
+  | Checks_retired
+  | Check_failures
+
+let all_events =
+  [ Loads_retired; Fp_loads_retired; Stores_retired; Alat_inserts;
+    Alat_evictions; Alat_store_invalidations; Checks_retired; Check_failures ]
+
+let event_index = function
+  | Loads_retired -> 0
+  | Fp_loads_retired -> 1
+  | Stores_retired -> 2
+  | Alat_inserts -> 3
+  | Alat_evictions -> 4
+  | Alat_store_invalidations -> 5
+  | Checks_retired -> 6
+  | Check_failures -> 7
+
+let n_events = List.length all_events
+
+let event_name = function
+  | Loads_retired -> "loads_retired"
+  | Fp_loads_retired -> "fp_loads_retired"
+  | Stores_retired -> "stores_retired"
+  | Alat_inserts -> "alat_inserts"
+  | Alat_evictions -> "alat_evictions"
+  | Alat_store_invalidations -> "alat_store_invalidations"
+  | Checks_retired -> "checks_retired"
+  | Check_failures -> "check_failures"
+
+(* site id -> event count vector.  Site -1 is the synthetic site codegen
+   uses for spill traffic it manufactures itself. *)
+type t = (int, int array) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let record (t : t) ~site ev =
+  let row =
+    match Hashtbl.find_opt t site with
+    | Some r -> r
+    | None ->
+      let r = Array.make n_events 0 in
+      Hashtbl.replace t site r;
+      r
+  in
+  let i = event_index ev in
+  row.(i) <- row.(i) + 1
+
+let count (t : t) ~site ev =
+  match Hashtbl.find_opt t site with
+  | Some r -> r.(event_index ev)
+  | None -> 0
+
+let total (t : t) ev =
+  let i = event_index ev in
+  Hashtbl.fold (fun _ r acc -> acc + r.(i)) t 0
+
+let sites (t : t) = Hashtbl.fold (fun s _ acc -> s :: acc) t [] |> List.sort compare
+
+(* Sites ranked by [ev], descending; ties by site id for determinism. *)
+let top (t : t) ev ~n =
+  let i = event_index ev in
+  Hashtbl.fold (fun s r acc -> if r.(i) > 0 then (s, r.(i)) :: acc else acc) t []
+  |> List.sort (fun (s1, c1) (s2, c2) ->
+         if c1 <> c2 then compare c2 c1 else compare s1 s2)
+  |> List.filteri (fun k _ -> k < n)
+
+let to_json (t : t) : Json.t =
+  Json.Arr
+    (List.map
+       (fun s ->
+         let r = Hashtbl.find t s in
+         Json.Obj
+           (("site", Json.Int s)
+           :: List.concat_map
+                (fun ev ->
+                  let c = r.(event_index ev) in
+                  if c = 0 then [] else [ (event_name ev, Json.Int c) ])
+                all_events))
+       (sites t))
+
+(* The "top mis-speculating sites" report: sites whose checks failed, with
+   their check volume and failure rate — what pfmon event sampling would
+   show for ALAT_CAPACITY_MISS-style events. *)
+let pp_top_missers ppf (t : t) =
+  match top t Check_failures ~n:10 with
+  | [] -> Fmt.pf ppf "no mis-speculating sites"
+  | worst ->
+    Fmt.pf ppf "@[<v>top mis-speculating sites:@,%-6s %10s %10s %8s@," "site"
+      "failures" "checks" "rate";
+    List.iter
+      (fun (s, fails) ->
+        let checks = count t ~site:s Checks_retired in
+        let rate =
+          if checks = 0 then 0.0
+          else 100.0 *. float_of_int fails /. float_of_int checks
+        in
+        Fmt.pf ppf "s%-5d %10d %10d %7.2f%%@," s fails checks rate)
+      worst;
+    Fmt.pf ppf "@]"

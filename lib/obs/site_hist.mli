@@ -1,0 +1,47 @@
+(** Per-site event attribution — the pfmon event-sampling stand-in.
+
+    The machine records every memory-system event against the stable IR
+    site id of the instruction that caused it (the site the victim entry
+    was *armed* by, for ALAT evictions and store invalidations).  Event
+    names match the {!Srp_machine.Counters.t} field names, so per-event
+    sums over all sites can be cross-checked against the global counters
+    by name. *)
+
+type event =
+  | Loads_retired
+  | Fp_loads_retired
+  | Stores_retired
+  | Alat_inserts
+  | Alat_evictions  (** attributed to the evicted entry's arming site *)
+  | Alat_store_invalidations
+      (** attributed to the invalidated entry's arming site *)
+  | Checks_retired  (** ld.c and chk.a *)
+  | Check_failures
+
+val all_events : event list
+val event_name : event -> string
+
+type t
+
+val create : unit -> t
+
+(** Count one event at [site] ([-1] = synthetic codegen site). *)
+val record : t -> site:int -> event -> unit
+
+val count : t -> site:int -> event -> int
+
+(** Sum over all sites — must equal the matching global counter. *)
+val total : t -> event -> int
+
+(** All sites with at least one event, ascending. *)
+val sites : t -> int list
+
+(** Sites ranked by [event] count, descending, zero-count sites omitted. *)
+val top : t -> event -> n:int -> (int * int) list
+
+(** One object per site, zero counts omitted:
+    [{"site": 3, "loads_retired": 17, ...}]. *)
+val to_json : t -> Json.t
+
+(** Sites ranked by check failures, with volumes and failure rates. *)
+val pp_top_missers : Format.formatter -> t -> unit

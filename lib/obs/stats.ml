@@ -1,0 +1,116 @@
+(* Pass statistics — an LLVM -stats style registry (cf. STATISTIC in
+   RegisterPromotion.cpp).  Every compiler phase reports named counters and
+   timers into one process-global table; the driver renders it as a table
+   (`Stats.report`) or as JSON (`Stats.to_json`).
+
+   The registry is process-global and accumulates across runs in the same
+   process (the bench harness compiles dozens of programs; its pass stats
+   are the totals).  `reset` clears it — handles obtained before a reset
+   keep working but no longer feed the report, so instrumentation sites
+   look counters up at use time rather than caching them. *)
+
+type kind = Counter | Timer
+
+type entry = {
+  pass : string;
+  name : string;
+  desc : string;
+  kind : kind;
+  mutable count : int; (* counter value, or timer invocation count *)
+  mutable secs : float; (* timers only: accumulated CPU seconds *)
+}
+
+type counter = entry
+
+type registry = {
+  tbl : (string * string, entry) Hashtbl.t;
+  mutable order : entry list; (* reverse insertion order *)
+}
+
+let reg = { tbl = Hashtbl.create 64; order = [] }
+
+let reset () =
+  Hashtbl.reset reg.tbl;
+  reg.order <- []
+
+let find_or_add ~pass ~name ~desc kind =
+  match Hashtbl.find_opt reg.tbl (pass, name) with
+  | Some e -> e
+  | None ->
+    let e = { pass; name; desc; kind; count = 0; secs = 0.0 } in
+    Hashtbl.replace reg.tbl (pass, name) e;
+    reg.order <- e :: reg.order;
+    e
+
+let counter ?(desc = "") ~pass name : counter =
+  find_or_add ~pass ~name ~desc Counter
+
+let add (c : counter) n = c.count <- c.count + n
+let incr c = add c 1
+let set_max (c : counter) n = if n > c.count then c.count <- n
+let value (c : counter) = c.count
+
+(* Accumulate CPU time (Sys.time: no Unix dependency; the numbers are for
+   relative phase comparison, not wall-clock benchmarking — Bechamel in
+   bench/ does that). *)
+let time ~pass name f =
+  let e = find_or_add ~pass ~name ~desc:"" Timer in
+  let t0 = Sys.time () in
+  Fun.protect
+    ~finally:(fun () ->
+      e.secs <- e.secs +. (Sys.time () -. t0);
+      e.count <- e.count + 1)
+    f
+
+let entries () = List.rev reg.order
+
+let report () : string =
+  let rows =
+    List.map
+      (fun e ->
+        match e.kind with
+        | Counter -> [ e.pass; e.name; string_of_int e.count; "" ]
+        | Timer ->
+          [ e.pass; e.name; Fmt.str "%.4fs" e.secs; Fmt.str "%d calls" e.count ])
+      (entries ())
+  in
+  if rows = [] then "(no statistics recorded)\n"
+  else
+    (* lightweight fixed-width table; lib/support is not a dependency *)
+    let widths = [| 0; 0; 0; 0 |] in
+    List.iter
+      (List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)))
+      ([ "pass"; "statistic"; "value"; "" ] :: rows);
+    let buf = Buffer.create 256 in
+    let render row =
+      List.iteri
+        (fun i c ->
+          if i > 0 then Buffer.add_string buf "  ";
+          Buffer.add_string buf c;
+          if i < 3 then
+            Buffer.add_string buf (String.make (widths.(i) - String.length c) ' '))
+        row;
+      Buffer.add_char buf '\n'
+    in
+    render [ "pass"; "statistic"; "value"; "" ];
+    render
+      (List.map (fun w -> String.make w '-') (Array.to_list widths)
+      |> function
+      | [ a; b; c; _ ] -> [ a; b; c; "" ]
+      | r -> r);
+    List.iter render rows;
+    Buffer.contents buf
+
+let to_json () : Json.t =
+  Json.Arr
+    (List.map
+       (fun e ->
+         Json.Obj
+           ([ ("pass", Json.String e.pass); ("name", Json.String e.name) ]
+           @ (if e.desc = "" then [] else [ ("desc", Json.String e.desc) ])
+           @
+           match e.kind with
+           | Counter -> [ ("value", Json.Int e.count) ]
+           | Timer ->
+             [ ("seconds", Json.Float e.secs); ("calls", Json.Int e.count) ]))
+       (entries ()))

@@ -1,0 +1,34 @@
+(** Pass statistics — an LLVM [-stats] style registry.
+
+    Compiler phases report named counters and timers into one
+    process-global table; the driver renders it with {!report} (a table
+    like [llvm -stats]) or {!to_json}.  The registry accumulates across
+    runs in the same process; {!reset} clears it.  Instrumentation sites
+    should look counters up at use time ([Stats.add (Stats.counter ...)]),
+    not cache handles across resets. *)
+
+type counter
+
+(** Find-or-create the counter [(pass, name)]. Idempotent. *)
+val counter : ?desc:string -> pass:string -> string -> counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+(** Raise the counter to [n] if it is below (high-water marks). *)
+val set_max : counter -> int -> unit
+
+val value : counter -> int
+
+(** [time ~pass name f] runs [f ()], accumulating its CPU time
+    (Sys.time) and call count under the timer [(pass, name)].
+    Exception-safe. *)
+val time : pass:string -> string -> (unit -> 'a) -> 'a
+
+(** Render every statistic, in registration order. *)
+val report : unit -> string
+
+val to_json : unit -> Json.t
+
+(** Drop all statistics. *)
+val reset : unit -> unit

@@ -1,0 +1,40 @@
+(* Bounded event-trace sink: one JSON object per line, each stamped with
+   the machine cycle it retired at.  Meant for debugging codegen and the
+   timing model — pipe a run through `srp run --trace FILE` and grep.
+
+   The bound keeps a runaway loop from filling the disk: after [limit]
+   events the sink counts drops silently and `close` appends a final
+   `{"ev":"truncated","dropped":N}` record so a reader knows the trace is
+   a prefix, not the whole run. *)
+
+type sink = {
+  oc : out_channel;
+  limit : int;
+  mutable emitted : int;
+  mutable dropped : int;
+}
+
+let create ?(limit = 100_000) oc = { oc; limit; emitted = 0; dropped = 0 }
+
+let emit t ~cycle kind fields =
+  if t.emitted >= t.limit then t.dropped <- t.dropped + 1
+  else begin
+    t.emitted <- t.emitted + 1;
+    output_string t.oc
+      (Json.to_string
+         (Json.Obj (("c", Json.Int cycle) :: ("ev", Json.String kind) :: fields)));
+    output_char t.oc '\n'
+  end
+
+let emitted t = t.emitted
+let truncated t = t.dropped > 0
+
+let close t =
+  if t.dropped > 0 then begin
+    output_string t.oc
+      (Json.to_string
+         (Json.Obj
+            [ ("ev", Json.String "truncated"); ("dropped", Json.Int t.dropped) ]));
+    output_char t.oc '\n'
+  end;
+  flush t.oc

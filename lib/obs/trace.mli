@@ -1,0 +1,19 @@
+(** Bounded per-cycle event trace: one JSON object per line
+    ([{"c": <cycle>, "ev": <kind>, ...}]).
+
+    After [limit] events further emissions are dropped and counted;
+    {!close} appends a final [{"ev":"truncated","dropped":N}] record if
+    anything was dropped.  {!close} flushes but does not close the
+    channel — the opener owns it. *)
+
+type sink
+
+val create : ?limit:int -> out_channel -> sink
+
+val emit : sink -> cycle:int -> string -> (string * Json.t) list -> unit
+
+(** Events written so far (excluding drops). *)
+val emitted : sink -> int
+
+val truncated : sink -> bool
+val close : sink -> unit

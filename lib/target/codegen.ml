@@ -519,10 +519,14 @@ let gen_func (f : Func.t) : Insn.func =
       ([], []) formals
   in
   let ra =
-    Regalloc.run
-      { Regalloc.code; nivregs = ctx.next_ireg; nfvregs = ctx.next_freg;
-        live_in; flive_in; pinned = pinned_i; fpinned = pinned_f }
+    Srp_obs.Stats.time ~pass:"target" "regalloc" (fun () ->
+        Regalloc.run
+          { Regalloc.code; nivregs = ctx.next_ireg; nfvregs = ctx.next_freg;
+            live_in; flive_in; pinned = pinned_i; fpinned = pinned_f })
   in
+  Srp_obs.Stats.set_max
+    (Srp_obs.Stats.counter ~pass:"target" "max_int_regs")
+    ra.Regalloc.nregs;
   let remap_dest = function
     | Insn.DInt r -> Insn.DInt ra.Regalloc.imap.(r)
     | Insn.DFlt fr -> Insn.DFlt ra.Regalloc.fmap.(fr)
@@ -537,9 +541,10 @@ let gen_func (f : Func.t) : Insn.func =
 
 let gen_program (prog : Program.t) : Insn.program =
   let funcs = Hashtbl.create 16 in
-  List.iter
-    (fun f -> Hashtbl.replace funcs (Func.name f) (gen_func f))
-    (Program.funcs prog);
+  Srp_obs.Stats.time ~pass:"target" "codegen" (fun () ->
+      List.iter
+        (fun f -> Hashtbl.replace funcs (Func.name f) (gen_func f))
+        (Program.funcs prog));
   { Insn.funcs;
     func_order = prog.Program.func_order;
     globals = Program.globals prog }

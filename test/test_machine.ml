@@ -63,7 +63,8 @@ let test_alat_capacity_eviction () =
   let mk_addr i = Int64.of_int (((i * 16 * 8) lor 0) * 1) in
   let evicted = ref 0 in
   for i = 0 to 3 do
-    if Alat.insert a (Alat.int_tag ~frame:1 i) (mk_addr i) then incr evicted
+    if Alat.insert a (Alat.int_tag ~frame:1 i) (mk_addr i) <> None then
+      incr evicted
   done;
   Alcotest.(check bool) "third insert into a 2-way set evicts" true (!evicted >= 1)
 

@@ -14,4 +14,5 @@ let () =
       ("target", Test_target.suite);
       ("machine", Test_machine.suite);
       ("random", Test_random.suite);
+      ("obs", Test_obs.suite);
       ("e2e", Test_e2e.suite) ]

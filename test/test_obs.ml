@@ -1,0 +1,507 @@
+(* Tests for the observability layer (lib/obs) and its wiring: JSON
+   round-trips, the pass-statistics registry, per-site event attribution
+   (histogram sums must equal the global counters), the counter
+   field-count guard, the bounded trace sink, ablation wiring and the
+   emitted `srp run --json` / bench documents. *)
+
+open Srp_driver
+module J = Srp_obs.Json
+module Stats = Srp_obs.Stats
+module Site_hist = Srp_obs.Site_hist
+module Trace = Srp_obs.Trace
+module C = Srp_machine.Counters
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* pretty-printable Json.t for alcotest equality *)
+let json_testable : J.t Alcotest.testable =
+  Alcotest.testable (fun ppf j -> Fmt.string ppf (J.to_string j)) ( = )
+
+let parse_ok s =
+  match J.of_string s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "parse of %S failed: %s" s e
+
+(* --- Json --- *)
+
+let roundtrip j =
+  Alcotest.check json_testable
+    (Fmt.str "compact round-trip of %s" (J.to_string j))
+    j
+    (parse_ok (J.to_string j));
+  Alcotest.check json_testable "indented round-trip" j
+    (parse_ok (J.to_string ~indent:2 j))
+
+let test_json_roundtrip () =
+  roundtrip J.Null;
+  roundtrip (J.Bool true);
+  roundtrip (J.Bool false);
+  roundtrip (J.Int 0);
+  roundtrip (J.Int (-42));
+  roundtrip (J.Int max_int);
+  roundtrip (J.Float 1.5);
+  roundtrip (J.Float (-0.25));
+  roundtrip (J.Float 3.141592653589793);
+  (* whole-number floats must stay Float through the round-trip *)
+  roundtrip (J.Float 2.0);
+  roundtrip (J.String "");
+  roundtrip (J.String "a\"b\\c\nd\te\r\x0c\x08f");
+  roundtrip (J.String "unicode: \xc3\xa9\xe2\x82\xac");
+  roundtrip (J.Arr []);
+  roundtrip (J.Obj []);
+  roundtrip
+    (J.Obj
+       [ ("a", J.Arr [ J.Int 1; J.Float 2.5; J.Null ]);
+         ("nested", J.Obj [ ("b", J.Bool false); ("s", J.String "x y") ]);
+         ("empty", J.Arr []) ])
+
+let test_json_special_floats () =
+  (* NaN / infinities are not representable in JSON: encoded as null *)
+  Alcotest.(check string) "nan" "null" (J.to_string (J.Float Float.nan));
+  Alcotest.(check string) "inf" "null" (J.to_string (J.Float Float.infinity))
+
+let test_json_escapes_control_chars () =
+  let s = J.to_string (J.String "a\nb\x01c") in
+  Alcotest.(check bool) "newline escaped" true (contains ~needle:"\\n" s);
+  Alcotest.(check bool) "control escaped" true (contains ~needle:"\\u0001" s);
+  Alcotest.check json_testable "still parses back" (J.String "a\nb\x01c")
+    (parse_ok s)
+
+let test_json_parse_unicode_escape () =
+  Alcotest.check json_testable "\\u00e9 decodes to UTF-8"
+    (J.String "\xc3\xa9")
+    (parse_ok {|"é"|})
+
+let test_json_parse_errors () =
+  let rejects s =
+    match J.of_string s with
+    | Ok _ -> Alcotest.failf "parser accepted %S" s
+    | Error _ -> ()
+  in
+  List.iter rejects
+    [ ""; "{"; "["; "tru"; "nul"; "\"unterminated"; "{\"a\":}"; "[1,]";
+      "{\"a\" 1}"; "1 2" (* trailing garbage *); "{} []"; "'single'";
+      "+1"; "01a" ]
+
+let test_json_accessors () =
+  let doc = parse_ok {|{"a": 1, "b": [true, "x"], "f": 2.5}|} in
+  Alcotest.(check (option int)) "member a" (Some 1)
+    (Option.bind (J.member "a" doc) J.to_int_opt);
+  Alcotest.(check (option int)) "missing member" None
+    (Option.bind (J.member "zzz" doc) J.to_int_opt);
+  Alcotest.(check bool) "to_float_opt accepts Int" true
+    (Option.bind (J.member "a" doc) J.to_float_opt = Some 1.0);
+  Alcotest.(check bool) "to_float_opt on Float" true
+    (Option.bind (J.member "f" doc) J.to_float_opt = Some 2.5);
+  (match Option.bind (J.member "b" doc) J.to_list_opt with
+  | Some [ J.Bool true; J.String "x" ] -> ()
+  | _ -> Alcotest.fail "to_list_opt shape");
+  Alcotest.(check (option string)) "to_string_opt" (Some "x")
+    (match J.member "b" doc with
+    | Some (J.Arr [ _; s ]) -> J.to_string_opt s
+    | _ -> None)
+
+(* --- Counters: the field-count guard (satellite a) --- *)
+
+let test_counters_field_guard () =
+  let c = C.create () in
+  (* Every field of Counters.t is an immediate int, so the runtime block
+     size is exactly the field count: adding a field without extending
+     to_fields (which feeds pp, to_json and the per-site cross-check)
+     fails here. *)
+  Alcotest.(check int) "to_fields covers every record field"
+    (Obj.size (Obj.repr c))
+    (List.length (C.to_fields c));
+  let names = List.map fst (C.to_fields c) in
+  Alcotest.(check int) "field names unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_counters_pp_prints_all_fields () =
+  let c = C.create () in
+  let s = Fmt.str "%a" C.pp c in
+  (* the fields the old pp dropped, plus a sentinel old one *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " printed") true (contains ~needle:n s))
+    [ "rse_spilled_regs"; "rse_filled_regs"; "max_stacked_regs"; "cycles" ]
+
+let test_counters_to_json () =
+  let c = C.create () in
+  c.C.loads_retired <- 7;
+  let doc = C.to_json c in
+  Alcotest.(check (option int)) "loads_retired" (Some 7)
+    (Option.bind (J.member "loads_retired" doc) J.to_int_opt);
+  match doc with
+  | J.Obj fields ->
+    Alcotest.(check int) "json has every field" (List.length (C.to_fields c))
+      (List.length fields)
+  | _ -> Alcotest.fail "counters json is not an object"
+
+(* --- Stats registry --- *)
+
+let test_stats_counters () =
+  Stats.reset ();
+  let c = Stats.counter ~pass:"obs-test" "widgets" in
+  Stats.incr c;
+  Stats.add c 4;
+  Alcotest.(check int) "accumulated" 5 (Stats.value c);
+  (* find-or-create is idempotent: same handle, same value *)
+  Alcotest.(check int) "idempotent lookup" 5
+    (Stats.value (Stats.counter ~pass:"obs-test" "widgets"));
+  let m = Stats.counter ~pass:"obs-test" "high-water" in
+  Stats.set_max m 3;
+  Stats.set_max m 9;
+  Stats.set_max m 2;
+  Alcotest.(check int) "set_max keeps the max" 9 (Stats.value m)
+
+let test_stats_timer_and_report () =
+  Stats.reset ();
+  let r = Stats.time ~pass:"obs-test" "work" (fun () -> 41 + 1) in
+  Alcotest.(check int) "time returns f ()" 42 r;
+  ignore (Stats.time ~pass:"obs-test" "work" (fun () -> ()));
+  (* exceptions propagate but the call is still accounted *)
+  (try Stats.time ~pass:"obs-test" "work" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  ignore (Stats.counter ~pass:"obs-test" "widgets");
+  let rep = Stats.report () in
+  Alcotest.(check bool) "report mentions the timer" true
+    (contains ~needle:"work" rep);
+  Alcotest.(check bool) "report mentions the counter" true
+    (contains ~needle:"widgets" rep);
+  (match Stats.to_json () with
+  | J.Arr entries ->
+    Alcotest.(check int) "one json entry per statistic" 2 (List.length entries);
+    let timer =
+      List.find
+        (fun e -> Option.bind (J.member "name" e) J.to_string_opt = Some "work")
+        entries
+    in
+    Alcotest.(check (option int)) "timer call count" (Some 3)
+      (Option.bind (J.member "calls" timer) J.to_int_opt)
+  | _ -> Alcotest.fail "stats json is not an array");
+  Stats.reset ();
+  match Stats.to_json () with
+  | J.Arr [] -> ()
+  | _ -> Alcotest.fail "reset did not clear the registry"
+
+(* --- Site_hist --- *)
+
+let test_site_hist_basics () =
+  let h = Site_hist.create () in
+  Site_hist.record h ~site:3 Site_hist.Loads_retired;
+  Site_hist.record h ~site:3 Site_hist.Loads_retired;
+  Site_hist.record h ~site:7 Site_hist.Loads_retired;
+  Site_hist.record h ~site:7 Site_hist.Check_failures;
+  Site_hist.record h ~site:1 Site_hist.Alat_inserts;
+  Alcotest.(check int) "count" 2 (Site_hist.count h ~site:3 Site_hist.Loads_retired);
+  Alcotest.(check int) "count absent" 0
+    (Site_hist.count h ~site:99 Site_hist.Loads_retired);
+  Alcotest.(check int) "total" 3 (Site_hist.total h Site_hist.Loads_retired);
+  Alcotest.(check (list int)) "sites ascending" [ 1; 3; 7 ] (Site_hist.sites h);
+  Alcotest.(check (list (pair int int))) "top ranked desc"
+    [ (3, 2); (7, 1) ]
+    (Site_hist.top h Site_hist.Loads_retired ~n:10);
+  Alcotest.(check (list (pair int int))) "top truncates"
+    [ (3, 2) ]
+    (Site_hist.top h Site_hist.Loads_retired ~n:1);
+  (* json omits zero counts *)
+  (match Site_hist.to_json h with
+  | J.Arr rows ->
+    let row1 =
+      List.find
+        (fun r -> Option.bind (J.member "site" r) J.to_int_opt = Some 1)
+        rows
+    in
+    Alcotest.(check (option int)) "nonzero event present" (Some 1)
+      (Option.bind (J.member "alat_inserts" row1) J.to_int_opt);
+    Alcotest.(check bool) "zero event omitted" true
+      (J.member "loads_retired" row1 = None)
+  | _ -> Alcotest.fail "site histogram json is not an array");
+  (* event names track the Counters field names *)
+  let counter_names = List.map fst (C.to_fields (C.create ())) in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Site_hist.event_name e ^ " is a counter field")
+        true
+        (List.mem (Site_hist.event_name e) counter_names))
+    Site_hist.all_events
+
+(* --- per-site attribution vs global counters (the by-construction
+   invariant the emitter documents) --- *)
+
+let test_attribution_sums name () =
+  let w = Srp_workloads.Registry.find name in
+  let small = { w with Workload.ref_ = w.Workload.train } in
+  let r = Pipeline.profile_compile_run small Pipeline.Alat in
+  let c = r.Pipeline.counters in
+  let h = r.Pipeline.site_stats in
+  let field e = List.assoc (Site_hist.event_name e) (C.to_fields c) in
+  List.iter
+    (fun e ->
+      Alcotest.(check int)
+        (Fmt.str "%s: site sum = global %s" name (Site_hist.event_name e))
+        (field e) (Site_hist.total h e))
+    Site_hist.all_events;
+  Alcotest.(check bool) (name ^ " retired loads") true (c.C.loads_retired > 0)
+
+(* --- trace sink --- *)
+
+let test_trace_bounded () =
+  let path = Filename.temp_file "srp_obs_trace" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let limit = 50 in
+  let oc = open_out path in
+  let sink = Trace.create ~limit oc in
+  let w = Srp_workloads.Registry.find "gzip" in
+  let small = { w with Workload.ref_ = w.Workload.train } in
+  let c =
+    Pipeline.compile ~profile:(Pipeline.train_profile small)
+      ~input:small.Workload.train small Pipeline.Alat
+  in
+  let _ = Pipeline.run ~trace:sink c in
+  Alcotest.(check bool) "hit the bound" true (Trace.truncated sink);
+  Alcotest.(check int) "emitted stops at limit" limit (Trace.emitted sink);
+  Trace.close sink;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let lines = List.rev !lines in
+  Alcotest.(check int) "limit + truncated record" (limit + 1)
+    (List.length lines);
+  List.iter
+    (fun l ->
+      match J.of_string l with
+      | Ok (J.Obj _) -> ()
+      | Ok _ -> Alcotest.failf "trace line is not an object: %s" l
+      | Error e -> Alcotest.failf "trace line does not parse: %s (%s)" l e)
+    lines;
+  let last = parse_ok (List.nth lines limit) in
+  Alcotest.(check (option string)) "final truncated record"
+    (Some "truncated")
+    (Option.bind (J.member "ev" last) J.to_string_opt);
+  Alcotest.(check bool) "dropped count positive" true
+    (match Option.bind (J.member "dropped" last) J.to_int_opt with
+    | Some n -> n > 0
+    | None -> false)
+
+let test_trace_untruncated () =
+  let path = Filename.temp_file "srp_obs_trace" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  let sink = Trace.create oc in
+  Trace.emit sink ~cycle:5 "alat.arm" [ ("site", J.Int 3) ];
+  Trace.close sink;
+  close_out oc;
+  let ic = open_in path in
+  let line = input_line ic in
+  let eof = try ignore (input_line ic); false with End_of_file -> true in
+  close_in ic;
+  Alcotest.(check bool) "no truncated record when under limit" true eof;
+  let doc = parse_ok line in
+  Alcotest.(check (option int)) "cycle" (Some 5)
+    (Option.bind (J.member "c" doc) J.to_int_opt);
+  Alcotest.(check (option string)) "kind" (Some "alat.arm")
+    (Option.bind (J.member "ev" doc) J.to_string_opt);
+  Alcotest.(check (option int)) "payload" (Some 3)
+    (Option.bind (J.member "site" doc) J.to_int_opt)
+
+(* --- ablation wiring (satellite b) --- *)
+
+let test_ablation_names_roundtrip () =
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (Pipeline.ablation_name a ^ " parses back")
+        true
+        (Pipeline.ablation_of_string (Pipeline.ablation_name a) = Some a))
+    Pipeline.all_ablations;
+  Alcotest.(check bool) "unknown rejected" true
+    (Pipeline.ablation_of_string "frobnicate" = None)
+
+let test_ablation_config_overrides () =
+  let base =
+    { Srp_core.Config.alat_heuristic with
+      Srp_core.Config.use_invala = true;
+      control_spec = true }
+  in
+  let open Srp_core.Config in
+  Alcotest.(check bool) "no-invala" false
+    (Pipeline.apply_ablation Pipeline.No_invala base).use_invala;
+  Alcotest.(check bool) "no-control-spec" false
+    (Pipeline.apply_ablation Pipeline.No_control_spec base).control_spec;
+  Alcotest.(check bool) "cascade" true
+    (Pipeline.apply_ablation Pipeline.Cascade base).cascade;
+  Alcotest.(check int) "single-round" 1
+    (Pipeline.apply_ablation Pipeline.Single_round base).max_rounds
+
+let test_ablation_run_output_equal () =
+  let w = Srp_workloads.Registry.find "gzip" in
+  let small = { w with Workload.ref_ = w.Workload.train } in
+  let plain = Pipeline.profile_compile_run small Pipeline.Alat in
+  let ablated =
+    Pipeline.profile_compile_run
+      ~ablations:[ Pipeline.No_invala; Pipeline.Single_round ]
+      small Pipeline.Alat
+  in
+  Alcotest.(check string) "ablations preserve program output"
+    plain.Pipeline.output ablated.Pipeline.output;
+  Alcotest.(check bool) "ablations recorded in compiled" true
+    (ablated.Pipeline.compiled.Pipeline.ablations
+    = [ Pipeline.No_invala; Pipeline.Single_round ])
+
+(* --- emitted documents (satellite c, e2e) --- *)
+
+let test_run_json_roundtrip () =
+  let w = Srp_workloads.Registry.find "mcf" in
+  let small = { w with Workload.ref_ = w.Workload.train } in
+  let r = Pipeline.profile_compile_run small Pipeline.Alat in
+  let s = J.to_string ~indent:2 (Emit.run_json ~name:"mcf" r) in
+  let doc = parse_ok s in
+  Alcotest.(check (option string)) "schema" (Some "srp-run-v1")
+    (Option.bind (J.member "schema" doc) J.to_string_opt);
+  Alcotest.(check (option string)) "level" (Some "alat")
+    (Option.bind (J.member "level" doc) J.to_string_opt);
+  let counters = Option.get (J.member "counters" doc) in
+  let loads =
+    Option.get (Option.bind (J.member "loads_retired" counters) J.to_int_opt)
+  in
+  Alcotest.(check bool) "nonzero loads_retired" true (loads > 0);
+  (* histogram sums survive the JSON round-trip *)
+  let hist =
+    Option.get (Option.bind (J.member "site_histogram" doc) J.to_list_opt)
+  in
+  let hist_loads =
+    List.fold_left
+      (fun acc row ->
+        acc
+        + Option.value ~default:0
+            (Option.bind (J.member "loads_retired" row) J.to_int_opt))
+      0 hist
+  in
+  Alcotest.(check int) "histogram loads sum equals counter" loads hist_loads;
+  (match Option.bind (J.member "pass_stats" doc) J.to_list_opt with
+  | Some (_ :: _) -> ()
+  | _ -> Alcotest.fail "pass_stats empty or missing");
+  match Option.bind (J.member "promotion" doc) (J.member "exprs_promoted") with
+  | Some (J.Int _) -> ()
+  | _ -> Alcotest.fail "promotion stats missing"
+
+let test_bench_json_roundtrip () =
+  let w = Srp_workloads.Registry.find "gzip" in
+  let small = { w with Workload.ref_ = w.Workload.train } in
+  let r = Experiments.run_pair small in
+  let s = J.to_string ~indent:2 (Emit.bench_json ~quick:true [ r ]) in
+  let doc = parse_ok s in
+  Alcotest.(check (option string)) "schema" (Some "srp-bench-v1")
+    (Option.bind (J.member "schema" doc) J.to_string_opt);
+  let benchmarks =
+    Option.get (Option.bind (J.member "benchmarks" doc) J.to_list_opt)
+  in
+  Alcotest.(check int) "one benchmark" 1 (List.length benchmarks);
+  let entry = List.hd benchmarks in
+  Alcotest.(check (option string)) "name" (Some "gzip")
+    (Option.bind (J.member "name" entry) J.to_string_opt);
+  List.iter
+    (fun fig ->
+      match J.member fig entry with
+      | Some (J.Obj _) -> ()
+      | _ -> Alcotest.failf "%s row missing" fig)
+    [ "figure8"; "figure9"; "figure10"; "figure11" ];
+  match
+    Option.bind (J.member "figure8" entry)
+      (fun f ->
+        Option.bind (J.member "cpu_cycles_reduction_pct" f) J.to_float_opt)
+  with
+  | Some _ -> ()
+  | None -> Alcotest.fail "figure8 cycles reduction missing"
+
+(* The CLI end to end: `srp run FILE --json` prints a parseable document.
+   Skipped outside the dune sandbox (the binary path is build-relative). *)
+let test_cli_run_json () =
+  let bin = Filename.concat (Filename.concat ".." "bin") "srp.exe" in
+  if not (Sys.file_exists bin) then ()
+  else begin
+    let src = Filename.temp_file "srp_obs_cli" ".minic" in
+    let out = Filename.temp_file "srp_obs_cli" ".json" in
+    Fun.protect
+      ~finally:(fun () ->
+        Sys.remove src;
+        Sys.remove out)
+    @@ fun () ->
+    let oc = open_out src in
+    output_string oc
+      "int a[8];\n\
+       int main() {\n\
+      \  int i; int s; s = 0;\n\
+      \  for (i = 0; i < 8; i = i + 1) { a[i] = i * 3; }\n\
+      \  for (i = 0; i < 8; i = i + 1) { s = s + a[i]; }\n\
+      \  return s;\n\
+       }\n";
+    close_out oc;
+    let cmd =
+      Fmt.str "%s run %s --json >%s 2>/dev/null" (Filename.quote bin)
+        (Filename.quote src) (Filename.quote out)
+    in
+    let rc = Sys.command cmd in
+    Alcotest.(check int) "exit code is the program's (sum 84 & 0xff)" 84 rc;
+    let ic = open_in_bin out in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let doc = parse_ok s in
+    Alcotest.(check (option string)) "schema" (Some "srp-run-v1")
+      (Option.bind (J.member "schema" doc) J.to_string_opt);
+    Alcotest.(check (option int)) "exit_code field" (Some 84)
+      (Option.bind (J.member "exit_code" doc) J.to_int_opt);
+    match
+      Option.bind (J.member "counters" doc) (fun c ->
+          Option.bind (J.member "loads_retired" c) J.to_int_opt)
+    with
+    | Some n when n > 0 -> ()
+    | _ -> Alcotest.fail "cli json has no retired loads"
+  end
+
+let suite =
+  [ Alcotest.test_case "json: round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json: special floats" `Quick test_json_special_floats;
+    Alcotest.test_case "json: control chars" `Quick
+      test_json_escapes_control_chars;
+    Alcotest.test_case "json: unicode escape" `Quick
+      test_json_parse_unicode_escape;
+    Alcotest.test_case "json: parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json: accessors" `Quick test_json_accessors;
+    Alcotest.test_case "counters: field-count guard" `Quick
+      test_counters_field_guard;
+    Alcotest.test_case "counters: pp prints all fields" `Quick
+      test_counters_pp_prints_all_fields;
+    Alcotest.test_case "counters: to_json" `Quick test_counters_to_json;
+    Alcotest.test_case "stats: counters" `Quick test_stats_counters;
+    Alcotest.test_case "stats: timer + report + reset" `Quick
+      test_stats_timer_and_report;
+    Alcotest.test_case "site_hist: basics" `Quick test_site_hist_basics;
+    Alcotest.test_case "attribution: gzip sums = counters" `Quick
+      (test_attribution_sums "gzip");
+    Alcotest.test_case "attribution: mcf sums = counters" `Quick
+      (test_attribution_sums "mcf");
+    Alcotest.test_case "trace: bounded" `Quick test_trace_bounded;
+    Alcotest.test_case "trace: under limit" `Quick test_trace_untruncated;
+    Alcotest.test_case "ablation: names round-trip" `Quick
+      test_ablation_names_roundtrip;
+    Alcotest.test_case "ablation: config overrides" `Quick
+      test_ablation_config_overrides;
+    Alcotest.test_case "ablation: output preserved" `Quick
+      test_ablation_run_output_equal;
+    Alcotest.test_case "emit: run json round-trip" `Quick
+      test_run_json_roundtrip;
+    Alcotest.test_case "emit: bench json round-trip" `Quick
+      test_bench_json_roundtrip;
+    Alcotest.test_case "cli: srp run --json" `Quick test_cli_run_json ]
