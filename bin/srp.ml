@@ -66,6 +66,12 @@ let ablation_arg =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"emit a machine-readable JSON document")
 
+let no_layout_arg =
+  Arg.(value & flag
+       & info [ "no-layout" ]
+           ~doc:"skip the post-regalloc block layout pass (loop rotation + \
+                 fall-through chaining), for A/B-ing its branch behaviour")
+
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -94,12 +100,12 @@ let workload_of_file path =
     source = read_file path; train = []; ref_ = [] }
 
 let compile_cmd =
-  let run file level asm =
+  let run file level asm no_layout =
     let w = workload_of_file file in
     let profile =
       match level with Pipeline.Alat -> Some (Pipeline.train_profile w) | _ -> None
     in
-    let c = Pipeline.compile ?profile ~input:[] w level in
+    let c = Pipeline.compile ?profile ~layout:(not no_layout) ~input:[] w level in
     if asm then
       List.iter
         (fun name ->
@@ -117,14 +123,15 @@ let compile_cmd =
     | None -> ())
   in
   Cmd.v (Cmd.info "compile" ~doc:"compile a MiniC file and dump IR/assembly")
-    Term.(const run $ file_arg $ level_arg $ asm_arg)
+    Term.(const run $ file_arg $ level_arg $ asm_arg $ no_layout_arg)
 
 let run_cmd =
-  let run file level ablations json trace =
+  let run file level ablations json trace no_layout =
     let w = workload_of_file file in
     let r =
       with_trace trace (fun trace ->
-          Pipeline.profile_compile_run ?trace ~ablations w level)
+          Pipeline.profile_compile_run ?trace ~ablations
+            ~layout:(not no_layout) w level)
     in
     if json then
       Fmt.pr "%s@." (J.to_string ~indent:2 (Emit.run_json ~name:w.Workload.name r))
@@ -132,12 +139,14 @@ let run_cmd =
       print_string r.Pipeline.output;
       Fmt.epr "%a@." Srp_machine.Counters.pp r.Pipeline.counters;
       Fmt.epr "%a@." Srp_obs.Site_hist.pp_top_missers r.Pipeline.site_stats;
+      Fmt.epr "%a@." Srp_obs.Site_hist.pp_top_mispredicts r.Pipeline.site_stats;
       Fmt.epr "--- pass statistics ---@.%s@?" (Srp_obs.Stats.report ())
     end;
     exit (Int64.to_int r.Pipeline.exit_code)
   in
   Cmd.v (Cmd.info "run" ~doc:"compile and execute on the machine simulator")
-    Term.(const run $ file_arg $ level_arg $ ablation_arg $ json_arg $ trace_arg)
+    Term.(const run $ file_arg $ level_arg $ ablation_arg $ json_arg $ trace_arg
+          $ no_layout_arg)
 
 let profile_cmd =
   let out_arg =

@@ -82,7 +82,8 @@ let run (f : Func.t) : unit =
   let subst_term (t : Instr.terminator) : Instr.terminator =
     match t with
     | Instr.Jump _ -> t
-    | Instr.Br { cond; ifso; ifnot } -> Instr.Br { cond = subst_operand cond; ifso; ifnot }
+    | Instr.Br { cond; ifso; ifnot; site } ->
+      Instr.Br { cond = subst_operand cond; ifso; ifnot; site }
     | Instr.Ret (Some o) -> Instr.Ret (Some (subst_operand o))
     | Instr.Ret None -> t
   in
@@ -161,7 +162,8 @@ let run_local (f : Func.t) : unit =
     blk.Block.term <-
       (match blk.Block.term with
       | Instr.Jump _ as t -> t
-      | Instr.Br { cond; ifso; ifnot } -> Instr.Br { cond = res cond; ifso; ifnot }
+      | Instr.Br { cond; ifso; ifnot; site } ->
+        Instr.Br { cond = res cond; ifso; ifnot; site }
       | Instr.Ret (Some o) -> Instr.Ret (Some (res o))
       | Instr.Ret None as t -> t)
   in

@@ -52,6 +52,15 @@ let top_missers_json ?(n = 10) (h : Site_hist.t) : J.t =
                  else 100.0 *. float_of_int fails /. float_of_int checks)) ])
        (Site_hist.top h Site_hist.Check_failures ~n))
 
+(* The "top mispredicting branches" rows: branch sites ranked by static
+   predictor misses, the per-site view of the branch_mispredicts counter. *)
+let top_mispredicts_json ?(n = 10) (h : Site_hist.t) : J.t =
+  J.Arr
+    (List.map
+       (fun (site, misses) ->
+         J.Obj [ ("site", J.Int site); ("branch_mispredicts", J.Int misses) ])
+       (Site_hist.top h Site_hist.Branch_mispredicts ~n))
+
 (* One `srp run` execution. *)
 let run_json ~name (r : Pipeline.run_result) : J.t =
   J.Obj
@@ -72,7 +81,8 @@ let run_json ~name (r : Pipeline.run_result) : J.t =
        | None -> J.Null);
       ("pass_stats", Srp_obs.Stats.to_json ());
       ("site_histogram", Site_hist.to_json r.Pipeline.site_stats);
-      ("top_misspeculating_sites", top_missers_json r.Pipeline.site_stats) ]
+      ("top_misspeculating_sites", top_missers_json r.Pipeline.site_stats);
+      ("top_mispredicting_branches", top_mispredicts_json r.Pipeline.site_stats) ]
 
 (* One baseline-vs-speculative comparison, as the bench harness computes
    it: the four figure rows plus both builds' raw counters. *)
@@ -93,7 +103,13 @@ let bench_entry_json (r : Experiments.bench_result) : J.t =
       ("baseline_counters", C.to_json base);
       ("alat_counters", C.to_json spec);
       ("alat_top_misspeculating_sites",
-       top_missers_json r.Experiments.spec.Pipeline.site_stats) ]
+       top_missers_json r.Experiments.spec.Pipeline.site_stats);
+      ("branch_mispredicts",
+       J.Obj
+         [ ("baseline", J.Int base.C.branch_mispredicts);
+           ("alat", J.Int spec.C.branch_mispredicts) ]);
+      ("alat_top_mispredicting_branches",
+       top_mispredicts_json r.Experiments.spec.Pipeline.site_stats) ]
 
 let bench_json ?(quick = false) (rs : Experiments.bench_result list) : J.t =
   J.Obj

@@ -31,8 +31,60 @@ let run_pair ?fuel ?ablations (w : Workload.t) : bench_result =
          (Fmt.str "%s: baseline and speculative outputs differ!" w.Workload.name));
   { w; base; spec }
 
+(* Run the whole suite from a pool of worker domains.  The work unit is
+   one (workload, level) build-and-run — two tasks per workload — handed
+   out by an atomic ticket counter; every result lands in its submission
+   slot, so the figure tables and the --json rows come out in registry
+   order no matter how the domains are scheduled.  The pipeline has no
+   cross-run mutable state apart from the Stats registry, which is
+   domain-safe (lib/obs/stats.ml); each run builds its own programs,
+   machine and ALAT.  The baseline-vs-speculative output check happens
+   after the join, exactly as in the sequential run_pair. *)
 let run_all ?fuel (workloads : Workload.t list) : bench_result list =
-  List.map (run_pair ?fuel) workloads
+  let ws = Array.of_list workloads in
+  let n = Array.length ws in
+  let ntasks = 2 * n in
+  let slots = Array.make ntasks None in
+  let next = Atomic.make 0 in
+  let run_task i =
+    let w = ws.(i / 2) in
+    let level = if i mod 2 = 0 then Pipeline.Baseline else Pipeline.Alat in
+    Pipeline.profile_compile_run ?fuel w level
+  in
+  let worker () =
+    let continue_ = ref true in
+    while !continue_ do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= ntasks then continue_ := false
+      else slots.(i) <- Some (try Ok (run_task i) with e -> Error e)
+    done
+  in
+  (* ntasks-1 helpers at most: the calling domain works too.
+     SRP_BENCH_JOBS overrides the pool size (mostly for exercising the
+     multi-domain path on single-core machines). *)
+  let jobs =
+    match Sys.getenv_opt "SRP_BENCH_JOBS" with
+    | Some s -> ( match int_of_string_opt s with Some j when j > 0 -> j | _ -> 1 )
+    | None -> Domain.recommended_domain_count ()
+  in
+  let helpers = max 0 (min (ntasks - 1) (jobs - 1)) in
+  let domains = List.init helpers (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join domains;
+  let result i =
+    match slots.(i) with
+    | Some (Ok r) -> r
+    | Some (Error e) -> raise e
+    | None -> assert false
+  in
+  List.init n (fun k ->
+      let base = result (2 * k) and spec = result ((2 * k) + 1) in
+      if base.Pipeline.output <> spec.Pipeline.output then
+        raise
+          (Output_mismatch
+             (Fmt.str "%s: baseline and speculative outputs differ!"
+                ws.(k).Workload.name));
+      { w = ws.(k); base; spec })
 
 (* --- the four figures --- *)
 

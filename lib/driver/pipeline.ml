@@ -92,8 +92,8 @@ type compiled = {
    code generation (static data), the profile comes from the train run.
    [ablations] are config overrides on top of the level (no effect at O0,
    which runs no promotion at all). *)
-let compile ?profile ?(ablations = []) ~(input : Workload.input) (w : Workload.t)
-    (level : level) : compiled =
+let compile ?profile ?(ablations = []) ?(layout = true)
+    ~(input : Workload.input) (w : Workload.t) (level : level) : compiled =
   let ir = Srp_frontend.Lower.compile_source w.Workload.source in
   Workload.apply_input ir input;
   let promote =
@@ -103,7 +103,7 @@ let compile ?profile ?(ablations = []) ~(input : Workload.input) (w : Workload.t
       let config = List.fold_left (Fun.flip apply_ablation) config ablations in
       Some (Srp_core.Promote.run ~config ir)
   in
-  let target = Srp_target.Codegen.gen_program ir in
+  let target = Srp_target.Codegen.gen_program ~layout ir in
   { level; ablations; ir; target; promote }
 
 type run_result = {
@@ -124,12 +124,12 @@ let run ?fuel ?trace (c : compiled) : run_result =
 
 (* The standard experiment: profile on train, compile at [level], run on
    ref. *)
-let profile_compile_run ?fuel ?trace ?ablations (w : Workload.t) (level : level) :
-    run_result =
+let profile_compile_run ?fuel ?trace ?ablations ?layout (w : Workload.t)
+    (level : level) : run_result =
   let profile =
     match level with
     | Alat -> Some (train_profile w)
     | O0 | Conservative | Baseline | Alat_heuristic -> None
   in
-  let c = compile ?profile ?ablations ~input:w.Workload.ref_ w level in
+  let c = compile ?profile ?ablations ?layout ~input:w.Workload.ref_ w level in
   run ?fuel ?trace c

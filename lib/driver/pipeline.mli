@@ -48,10 +48,13 @@ type compiled = {
 
 (** Compile a workload at a level; [input] (usually the ref input) is baked
     into the global initializers before promotion and code generation.
-    [ablations] override the level's promotion config (no effect at O0). *)
+    [ablations] override the level's promotion config (no effect at O0).
+    [layout] (default on) runs the post-regalloc block layout pass — turn
+    it off to A/B the branch-layout contribution in isolation. *)
 val compile :
   ?profile:Srp_profile.Alias_profile.t ->
   ?ablations:ablation list ->
+  ?layout:bool ->
   input:Workload.input ->
   Workload.t ->
   level ->
@@ -74,6 +77,7 @@ val profile_compile_run :
   ?fuel:int ->
   ?trace:Srp_obs.Trace.sink ->
   ?ablations:ablation list ->
+  ?layout:bool ->
   Workload.t ->
   level ->
   run_result

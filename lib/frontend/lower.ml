@@ -212,7 +212,11 @@ let rec rvalue ctx (e : Typed_ast.texpr) : Ops.operand =
     let bt = Func.fresh_block ~hint:"ct" ctx.func in
     let bf = Func.fresh_block ~hint:"cf" ctx.func in
     let bj = Func.fresh_block ~hint:"cj" ctx.func in
-    finish ctx (Instr.Br { cond; ifso = Block.label bt; ifnot = Block.label bf }) bt;
+    finish ctx
+      (Instr.Br
+         { cond; ifso = Block.label bt; ifnot = Block.label bf;
+           site = fresh_site ctx })
+      bt;
     let va = rvalue ctx a in
     emit ctx (Instr.Store { src = va; addr = Ops.addr_of_sym s; mty; site = fresh_site ctx });
     finish ctx (Instr.Jump (Block.label bj)) bf;
@@ -247,10 +251,18 @@ and lower_shortcircuit ctx op a b : Ops.operand =
   let ca = lower_cond ctx a in
   (match op with
   | Ast.Bland ->
-    finish ctx (Instr.Br { cond = ca; ifso = Block.label beval; ifnot = Block.label bshort }) bshort;
+    finish ctx
+      (Instr.Br
+         { cond = ca; ifso = Block.label beval; ifnot = Block.label bshort;
+           site = fresh_site ctx })
+      bshort;
     store (Ops.Int 0L)
   | Ast.Blor ->
-    finish ctx (Instr.Br { cond = ca; ifso = Block.label bshort; ifnot = Block.label beval }) bshort;
+    finish ctx
+      (Instr.Br
+         { cond = ca; ifso = Block.label bshort; ifnot = Block.label beval;
+           site = fresh_site ctx })
+      bshort;
     store (Ops.Int 1L)
   | _ -> assert false);
   finish ctx (Instr.Jump (Block.label bj)) beval;
@@ -355,7 +367,11 @@ let rec lower_stmt ctx (s : Typed_ast.tstmt) : unit =
     let bt = Func.fresh_block ~hint:"then" ctx.func in
     let bf = Func.fresh_block ~hint:"else" ctx.func in
     let bj = Func.fresh_block ~hint:"endif" ctx.func in
-    finish ctx (Instr.Br { cond; ifso = Block.label bt; ifnot = Block.label bf }) bt;
+    finish ctx
+      (Instr.Br
+         { cond; ifso = Block.label bt; ifnot = Block.label bf;
+           site = fresh_site ctx })
+      bt;
     List.iter (lower_stmt ctx) then_;
     finish ctx (Instr.Jump (Block.label bj)) bf;
     List.iter (lower_stmt ctx) else_;
@@ -366,7 +382,11 @@ let rec lower_stmt ctx (s : Typed_ast.tstmt) : unit =
     let bexit = Func.fresh_block ~hint:"endwhile" ctx.func in
     finish ctx (Instr.Jump (Block.label bhead)) bhead;
     let cond = lower_cond ctx c in
-    finish ctx (Instr.Br { cond; ifso = Block.label bbody; ifnot = Block.label bexit }) bbody;
+    finish ctx
+      (Instr.Br
+         { cond; ifso = Block.label bbody; ifnot = Block.label bexit;
+           site = fresh_site ctx })
+      bbody;
     ctx.loop_stack <- (Block.label bhead, Block.label bexit) :: ctx.loop_stack;
     List.iter (lower_stmt ctx) body;
     ctx.loop_stack <- List.tl ctx.loop_stack;
@@ -381,7 +401,11 @@ let rec lower_stmt ctx (s : Typed_ast.tstmt) : unit =
     ctx.loop_stack <- List.tl ctx.loop_stack;
     finish ctx (Instr.Jump (Block.label bcond)) bcond;
     let cond = lower_cond ctx c in
-    finish ctx (Instr.Br { cond; ifso = Block.label bbody; ifnot = Block.label bexit }) bexit
+    finish ctx
+      (Instr.Br
+         { cond; ifso = Block.label bbody; ifnot = Block.label bexit;
+           site = fresh_site ctx })
+      bexit
   | TSreturn e ->
     let v = Option.map (rvalue ctx) e in
     let dead = Func.fresh_block ~hint:"dead" ctx.func in

@@ -64,9 +64,12 @@ type instr =
       site : Site.t;
     }
 
+(* Conditional branches carry a [Site.t] like memory operations do: the
+   machine attributes branch mispredicts per site, so the branch must keep a
+   stable identity from lowering through layout to the simulator. *)
 type terminator =
   | Jump of Label.t
-  | Br of { cond : Ops.operand; ifso : Label.t; ifnot : Label.t }
+  | Br of { cond : Ops.operand; ifso : Label.t; ifnot : Label.t; site : Site.t }
   | Ret of Ops.operand option
 
 let defs = function
@@ -120,6 +123,10 @@ let site = function
     Some site
   | Bin _ | Un _ | Mov _ | Invala _ -> None
 
+let term_site = function
+  | Br { site; _ } -> Some site
+  | Jump _ | Ret _ -> None
+
 let pp_promo ppf = function
   | P_none -> ()
   | P_ld_a -> Fmt.string ppf " !ld.a"
@@ -166,7 +173,8 @@ let rec pp ppf = function
 
 let pp_terminator ppf = function
   | Jump l -> Fmt.pf ppf "jump %a" Label.pp l
-  | Br { cond; ifso; ifnot } ->
-    Fmt.pf ppf "br %a, %a, %a" Ops.pp_operand cond Label.pp ifso Label.pp ifnot
+  | Br { cond; ifso; ifnot; site } ->
+    Fmt.pf ppf "br %a, %a, %a  @%a" Ops.pp_operand cond Label.pp ifso Label.pp
+      ifnot Site.pp site
   | Ret None -> Fmt.string ppf "ret"
   | Ret (Some o) -> Fmt.pf ppf "ret %a" Ops.pp_operand o

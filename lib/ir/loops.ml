@@ -73,7 +73,7 @@ let split_critical_edges func =
   for i = 0 to n - 1 do
     let b = Cfg.block cfg i in
     match b.Block.term with
-    | Instr.Br { cond; ifso; ifnot } ->
+    | Instr.Br { cond; ifso; ifnot; site } ->
       let split target =
         let t_idx = Cfg.index_of_label cfg target in
         if List.length (Cfg.preds cfg t_idx) >= 2 then begin
@@ -85,6 +85,6 @@ let split_critical_edges func =
       in
       let ifso' = split ifso in
       let ifnot' = if Label.equal ifso ifnot then ifso' else split ifnot in
-      b.Block.term <- Instr.Br { cond; ifso = ifso'; ifnot = ifnot' }
+      b.Block.term <- Instr.Br { cond; ifso = ifso'; ifnot = ifnot'; site }
     | Instr.Jump _ | Instr.Ret _ -> ()
   done

@@ -67,6 +67,12 @@ let mem_per_cycle = 2
 let fp_per_cycle = 2
 let mispredict_penalty = 6
 
+(* chk.a failure: the front end flushes like a mispredicted branch, then the
+   hardware raises a light trap that vectors into the recovery code — the
+   trap dispatch costs an extra fixed latency on top of the flush (see the
+   timing table in DESIGN.md). *)
+let check_recovery_penalty = mispredict_penalty + 10
+
 let create ?(fuel = 200_000_000) ?trace (prog : Insn.program) : t =
   let mem = Memory.create () in
   let globals = Hashtbl.create 16 in
@@ -396,7 +402,7 @@ and exec_from m fr pc : Value.t option =
       m.c.Counters.check_failures <- m.c.Counters.check_failures + 1;
       ev m ~site Site_hist.Check_failures;
       tr m "chk.a.fail" [ ("site", J.Int site); ("recovery", J.Int recovery) ];
-      advance_cycles m (mispredict_penalty + 10);
+      advance_cycles m check_recovery_penalty;
       exec_from m fr recovery
     end
   | Insn.Invala_e { tag } ->
@@ -415,19 +421,24 @@ and exec_from m fr pc : Value.t option =
     issue_slot m ~mem:false ~fp:false;
     new_group m; (* taken-branch redirect *)
     exec_from m fr target
-  | Insn.Brc { cond; ifso; ifnot } ->
+  | Insn.Brc { cond; ifso; ifnot; site } ->
     let vc = read_int fr m cond in
     issue_slot m ~mem:false ~fp:false;
     let taken = Value.truthy vc in
     let target = if taken then ifso else ifnot in
-    (* static prediction: backward taken, forward not taken *)
+    (* Static prediction: backward taken, forward not taken, decided by the
+       branch *direction* (ifso relative to the branch pc) — a taken forward
+       branch flushes even when ifso = pc + 1.  A correctly predicted branch
+       still pays a 1-bubble front-end redirect unless it falls through. *)
     let predicted_taken = ifso < pc in
     if taken <> predicted_taken then begin
       m.c.Counters.branch_mispredicts <- m.c.Counters.branch_mispredicts + 1;
-      tr m "br.mispredict" [ ("pc", J.Int pc); ("taken", J.Bool taken) ];
+      ev m ~site Site_hist.Branch_mispredicts;
+      tr m "br.mispredict"
+        [ ("site", J.Int site); ("pc", J.Int pc); ("taken", J.Bool taken) ];
       advance_cycles m mispredict_penalty
     end
-    else if taken then new_group m;
+    else if target <> pc + 1 then new_group m;
     exec_from m fr target
   | Insn.Call { callee; args; ret } -> (
     let vargs = List.map (read_src fr m) args in

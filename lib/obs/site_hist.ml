@@ -19,10 +19,12 @@ type event =
   | Alat_store_invalidations
   | Checks_retired
   | Check_failures
+  | Branch_mispredicts
 
 let all_events =
   [ Loads_retired; Fp_loads_retired; Stores_retired; Alat_inserts;
-    Alat_evictions; Alat_store_invalidations; Checks_retired; Check_failures ]
+    Alat_evictions; Alat_store_invalidations; Checks_retired; Check_failures;
+    Branch_mispredicts ]
 
 let event_index = function
   | Loads_retired -> 0
@@ -33,6 +35,7 @@ let event_index = function
   | Alat_store_invalidations -> 5
   | Checks_retired -> 6
   | Check_failures -> 7
+  | Branch_mispredicts -> 8
 
 let n_events = List.length all_events
 
@@ -45,6 +48,7 @@ let event_name = function
   | Alat_store_invalidations -> "alat_store_invalidations"
   | Checks_retired -> "checks_retired"
   | Check_failures -> "check_failures"
+  | Branch_mispredicts -> "branch_mispredicts"
 
 (* site id -> event count vector.  Site -1 is the synthetic site codegen
    uses for spill traffic it manufactures itself. *)
@@ -115,4 +119,16 @@ let pp_top_missers ppf (t : t) =
         in
         Fmt.pf ppf "s%-5d %10d %10d %7.2f%%@," s fails checks rate)
       worst;
+    Fmt.pf ppf "@]"
+
+(* The "top mispredicting branches" report: branch sites ranked by static
+   predictor misses — the view that makes a mispredict-per-iteration loop
+   pathology visible instead of a single opaque global counter. *)
+let pp_top_mispredicts ppf (t : t) =
+  match top t Branch_mispredicts ~n:10 with
+  | [] -> Fmt.pf ppf "no mispredicting branches"
+  | worst ->
+    Fmt.pf ppf "@[<v>top mispredicting branches:@,%-6s %12s@," "site"
+      "mispredicts";
+    List.iter (fun (s, n) -> Fmt.pf ppf "s%-5d %12d@," s n) worst;
     Fmt.pf ppf "@]"

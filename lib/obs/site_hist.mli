@@ -17,6 +17,7 @@ type event =
       (** attributed to the invalidated entry's arming site *)
   | Checks_retired  (** ld.c and chk.a *)
   | Check_failures
+  | Branch_mispredicts  (** static-prediction misses, per branch site *)
 
 val all_events : event list
 val event_name : event -> string
@@ -45,3 +46,6 @@ val to_json : t -> Json.t
 
 (** Sites ranked by check failures, with volumes and failure rates. *)
 val pp_top_missers : Format.formatter -> t -> unit
+
+(** Branch sites ranked by static-predictor misses. *)
+val pp_top_mispredicts : Format.formatter -> t -> unit

@@ -7,7 +7,13 @@
    process (the bench harness compiles dozens of programs; its pass stats
    are the totals).  `reset` clears it — handles obtained before a reset
    keep working but no longer feed the report, so instrumentation sites
-   look counters up at use time rather than caching them. *)
+   look counters up at use time rather than caching them.
+
+   The bench harness compiles workloads from a pool of domains, so every
+   access to the shared table and to entry fields takes one global mutex
+   — these are tiny critical sections (int bumps, table lookups), far off
+   any hot path.  The report orders entries by (pass, name) so its output
+   does not depend on which domain registered a counter first. *)
 
 type kind = Counter | Timer
 
@@ -28,12 +34,16 @@ type registry = {
 }
 
 let reg = { tbl = Hashtbl.create 64; order = [] }
+let lock = Mutex.create ()
+let locked f = Mutex.protect lock f
 
 let reset () =
+  locked @@ fun () ->
   Hashtbl.reset reg.tbl;
   reg.order <- []
 
 let find_or_add ~pass ~name ~desc kind =
+  locked @@ fun () ->
   match Hashtbl.find_opt reg.tbl (pass, name) with
   | Some e -> e
   | None ->
@@ -45,10 +55,13 @@ let find_or_add ~pass ~name ~desc kind =
 let counter ?(desc = "") ~pass name : counter =
   find_or_add ~pass ~name ~desc Counter
 
-let add (c : counter) n = c.count <- c.count + n
+let add (c : counter) n = locked @@ fun () -> c.count <- c.count + n
 let incr c = add c 1
-let set_max (c : counter) n = if n > c.count then c.count <- n
-let value (c : counter) = c.count
+
+let set_max (c : counter) n =
+  locked @@ fun () -> if n > c.count then c.count <- n
+
+let value (c : counter) = locked @@ fun () -> c.count
 
 (* Accumulate CPU time (Sys.time: no Unix dependency; the numbers are for
    relative phase comparison, not wall-clock benchmarking — Bechamel in
@@ -58,11 +71,16 @@ let time ~pass name f =
   let t0 = Sys.time () in
   Fun.protect
     ~finally:(fun () ->
-      e.secs <- e.secs +. (Sys.time () -. t0);
-      e.count <- e.count + 1)
+      locked (fun () ->
+          e.secs <- e.secs +. (Sys.time () -. t0);
+          e.count <- e.count + 1))
     f
 
-let entries () = List.rev reg.order
+(* Sorted, not insertion-ordered: with domains racing to register
+   counters, insertion order is run-dependent; (pass, name) is not. *)
+let entries () =
+  locked (fun () -> reg.order)
+  |> List.sort (fun a b -> compare (a.pass, a.name) (b.pass, b.name))
 
 let report () : string =
   let rows =

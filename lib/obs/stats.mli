@@ -5,7 +5,8 @@
     like [llvm -stats]) or {!to_json}.  The registry accumulates across
     runs in the same process; {!reset} clears it.  Instrumentation sites
     should look counters up at use time ([Stats.add (Stats.counter ...)]),
-    not cache handles across resets. *)
+    not cache handles across resets.  All operations are domain-safe: the
+    bench harness feeds the registry from a pool of worker domains. *)
 
 type counter
 
@@ -25,7 +26,8 @@ val value : counter -> int
     Exception-safe. *)
 val time : pass:string -> string -> (unit -> 'a) -> 'a
 
-(** Render every statistic, in registration order. *)
+(** Render every statistic, ordered by (pass, name) — deterministic even
+    when counters were registered from concurrent domains. *)
 val report : unit -> string
 
 val to_json : unit -> Json.t

@@ -142,7 +142,7 @@ and run_block t frame (label : Label.t) : Value.t option =
   spend t;
   match block.Block.term with
   | Instr.Jump l -> run_block t frame l
-  | Instr.Br { cond; ifso; ifnot } ->
+  | Instr.Br { cond; ifso; ifnot; site = _ } ->
     let v = eval_operand t frame cond in
     run_block t frame (if Value.truthy v then ifso else ifnot)
   | Instr.Ret None -> None

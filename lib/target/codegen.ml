@@ -75,8 +75,8 @@ let resolve b =
       code.(idx) <-
         (match code.(idx) with
         | Insn.Br { target } -> Insn.Br { target = pos target }
-        | Insn.Brc { cond; ifso; ifnot } ->
-          Insn.Brc { cond; ifso = pos ifso; ifnot = pos ifnot }
+        | Insn.Brc { cond; ifso; ifnot; site } ->
+          Insn.Brc { cond; ifso = pos ifso; ifnot = pos ifnot; site }
         | Insn.Chk_a { tag; recovery; site } ->
           Insn.Chk_a { tag; recovery = pos recovery; site }
         | ins -> ins))
@@ -422,7 +422,7 @@ let rec flush_recovery ctx =
 
 let round8 n = (n + 7) / 8 * 8
 
-let gen_func (f : Func.t) : Insn.func =
+let gen_func ?(layout = true) (f : Func.t) : Insn.func =
   let b =
     { rev = []; len = 0; lbl_pos = Hashtbl.create 16; patches = [];
       next_lbl = -1 }
@@ -490,15 +490,19 @@ let gen_func (f : Func.t) : Insn.func =
         match rest with
         | next :: _ when Label.equal (Block.label next) l -> ()
         | _ -> emit_patched b (Insn.Br { target = Label.id l }))
-      | Instr.Br { cond; ifso; ifnot } ->
+      | Instr.Br { cond; ifso; ifnot; site } ->
         let c = int_reg_of_operand ctx cond in
         emit_patched b
-          (Insn.Brc { cond = c; ifso = Label.id ifso; ifnot = Label.id ifnot })
+          (Insn.Brc
+             { cond = c; ifso = Label.id ifso; ifnot = Label.id ifnot;
+               site = Srp_ir.Site.to_int site })
       | Instr.Ret o ->
         emit b (Insn.Ret { value = Option.map (src_of_operand ctx) o }));
       go rest
   in
   go blocks;
+  (* recovery blocks start here; Layout keeps them out-of-line at the end *)
+  let body_len = b.len in
   flush_recovery ctx;
   let code = resolve b in
   (* register allocation; ALAT temps get private physical registers *)
@@ -531,19 +535,36 @@ let gen_func (f : Func.t) : Insn.func =
     | Insn.DInt r -> Insn.DInt ra.Regalloc.imap.(r)
     | Insn.DFlt fr -> Insn.DFlt ra.Regalloc.fmap.(fr)
   in
+  let code =
+    if not layout then ra.Regalloc.code
+    else begin
+      let ls = { Layout.loops_rotated = 0; blocks_moved = 0 } in
+      let code =
+        Srp_obs.Stats.time ~pass:"target" "layout" (fun () ->
+            Layout.run ~stats:ls ~body_len ra.Regalloc.code)
+      in
+      Srp_obs.Stats.add
+        (Srp_obs.Stats.counter ~pass:"target" "loops_rotated")
+        ls.Layout.loops_rotated;
+      Srp_obs.Stats.add
+        (Srp_obs.Stats.counter ~pass:"target" "blocks_moved")
+        ls.Layout.blocks_moved;
+      code
+    end
+  in
   { Insn.name = Func.name f;
     formals = List.map (fun (s, d) -> (s, remap_dest d)) formals;
-    code = ra.Regalloc.code;
+    code;
     nregs = ra.Regalloc.nregs;
     nfregs = ra.Regalloc.nfregs;
     frame_bytes;
     slot_of_sym = ctx.slot_of_sym }
 
-let gen_program (prog : Program.t) : Insn.program =
+let gen_program ?(layout = true) (prog : Program.t) : Insn.program =
   let funcs = Hashtbl.create 16 in
   Srp_obs.Stats.time ~pass:"target" "codegen" (fun () ->
       List.iter
-        (fun f -> Hashtbl.replace funcs (Func.name f) (gen_func f))
+        (fun f -> Hashtbl.replace funcs (Func.name f) (gen_func ~layout f))
         (Program.funcs prog));
   { Insn.funcs;
     func_order = prog.Program.func_order;

@@ -53,7 +53,7 @@ type insn =
   | Invala_e of { tag : dest }
   | Sel of { dst : dest; cond : int; if_true : src; if_false : src }
   | Br of { target : int }
-  | Brc of { cond : int; ifso : int; ifnot : int }
+  | Brc of { cond : int; ifso : int; ifnot : int; site : int }
   | Call of { callee : string; args : src list; ret : dest option }
   | Ret of { value : src option }
   | Alloc of { dst : int; nbytes : src; site : int } (* runtime malloc *)
@@ -143,7 +143,8 @@ let pp_insn ppf = function
     Fmt.pf ppf "sel %a = r%d ? %a : %a" pp_dest dst cond pp_src if_true
       pp_src if_false
   | Br { target } -> Fmt.pf ppf "br .%d" target
-  | Brc { cond; ifso; ifnot } -> Fmt.pf ppf "br.cond r%d, .%d, .%d" cond ifso ifnot
+  | Brc { cond; ifso; ifnot; site } ->
+    Fmt.pf ppf "br.cond r%d, .%d, .%d  ;; s%d" cond ifso ifnot site
   | Call { callee; args; ret } ->
     let pp_ret ppf = function
       | Some d -> Fmt.pf ppf "%a = " pp_dest d

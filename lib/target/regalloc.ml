@@ -106,7 +106,7 @@ let uses_defs (ins : Insn.insn) : int list * int list * int list * int list =
 let successors (code : Insn.insn array) pc : int list =
   match code.(pc) with
   | Insn.Br { target } -> [ target ]
-  | Insn.Brc { cond = _; ifso; ifnot } -> [ ifso; ifnot ]
+  | Insn.Brc { cond = _; ifso; ifnot; site = _ } -> [ ifso; ifnot ]
   | Insn.Ret _ -> []
   | Insn.Chk_a { recovery; _ } -> [ pc + 1; recovery ]
   | _ -> if pc + 1 < Array.length code then [ pc + 1 ] else []
@@ -285,7 +285,8 @@ let rewrite (code : Insn.insn array) (imap : int array) (fmap : int array) :
           { dst = d dst; cond = ir cond; if_true = s if_true;
             if_false = s if_false }
       | Insn.Br _ as b -> b
-      | Insn.Brc { cond; ifso; ifnot } -> Insn.Brc { cond = ir cond; ifso; ifnot }
+      | Insn.Brc { cond; ifso; ifnot; site } ->
+        Insn.Brc { cond = ir cond; ifso; ifnot; site }
       | Insn.Call { callee; args; ret } ->
         Insn.Call { callee; args = List.map s args; ret = Option.map d ret }
       | Insn.Ret { value } -> Insn.Ret { value = Option.map s value }

@@ -24,11 +24,17 @@ let mk_func n (edges : (int * int) list) : Func.t =
     | [ s1; s2 ] ->
       let t = Func.fresh_temp f Mem_ty.I64 in
       Block.append blk (Instr.Mov { dst = t; src = Ops.Int 1L });
-      blk.Block.term <- Instr.Br { cond = Ops.Temp t; ifso = labels.(s1); ifnot = labels.(s2) }
+      blk.Block.term <-
+        Instr.Br
+          { cond = Ops.Temp t; ifso = labels.(s1); ifnot = labels.(s2);
+            site = i }
     | s1 :: s2 :: _ ->
       let t = Func.fresh_temp f Mem_ty.I64 in
       Block.append blk (Instr.Mov { dst = t; src = Ops.Int 1L });
-      blk.Block.term <- Instr.Br { cond = Ops.Temp t; ifso = labels.(s1); ifnot = labels.(s2) }
+      blk.Block.term <-
+        Instr.Br
+          { cond = Ops.Temp t; ifso = labels.(s1); ifnot = labels.(s2);
+            site = i }
   done;
   f
 

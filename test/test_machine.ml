@@ -147,6 +147,94 @@ let test_rse_deep_recursion () =
   done;
   Alcotest.(check bool) "fills happened" true (c.Counters.rse_filled_regs > 0)
 
+(* --- static branch prediction on br.cond ---
+
+   The machine predicts by direction alone: a branch whose taken target
+   sits at a lower address than the branch is predicted taken, any other
+   is predicted not taken (machine.ml).  These hand-assembled programs pin
+   each quadrant of that contract, plus the degenerate taken-to-next-pc
+   case, so a layout change can't silently redefine what "mispredict"
+   means. *)
+
+module Insn = Srp_target.Insn
+
+let raw_main code ~nregs =
+  let funcs = Hashtbl.create 1 in
+  Hashtbl.replace funcs "main"
+    { Insn.name = "main"; formals = []; code; nregs; nfregs = 0;
+      frame_bytes = 0; slot_of_sym = Hashtbl.create 1 };
+  { Insn.funcs; func_order = [ "main" ]; globals = [] }
+
+let run_raw code ~nregs =
+  let exit_code, _, c = Srp_machine.Machine.run_program (raw_main code ~nregs) in
+  (exit_code, c)
+
+let test_predict_taken_backward () =
+  (* a 3-iteration countdown: the backward latch branch is predicted taken,
+     so only the final not-taken exit mispredicts *)
+  let code =
+    [| Insn.Movl { dst = 1; imm = 3L };
+       Insn.Alu { op = Insn.Asub; dst = 1; a = Insn.SReg 1; b = Insn.SImm 1L };
+       Insn.Alu { op = Insn.Acmp_gt; dst = 2; a = Insn.SReg 1; b = Insn.SImm 0L };
+       Insn.Brc { cond = 2; ifso = 1; ifnot = 4; site = 7 };
+       Insn.Ret { value = Some (Insn.SImm 0L) } |]
+  in
+  let exit_code, c = run_raw code ~nregs:3 in
+  Alcotest.(check int64) "exits through ifnot" 0L exit_code;
+  Alcotest.(check int) "only the loop exit mispredicts" 1
+    c.Counters.branch_mispredicts
+
+let test_predict_taken_forward () =
+  let code =
+    [| Insn.Movl { dst = 1; imm = 1L };
+       Insn.Brc { cond = 1; ifso = 3; ifnot = 2; site = 7 };
+       Insn.Ret { value = Some (Insn.SImm 1L) };
+       Insn.Ret { value = Some (Insn.SImm 0L) } |]
+  in
+  let exit_code, c = run_raw code ~nregs:2 in
+  Alcotest.(check int64) "takes the branch" 0L exit_code;
+  Alcotest.(check int) "taken forward branch mispredicts" 1
+    c.Counters.branch_mispredicts
+
+let test_predict_not_taken_forward () =
+  let code =
+    [| Insn.Movl { dst = 1; imm = 0L };
+       Insn.Brc { cond = 1; ifso = 3; ifnot = 2; site = 7 };
+       Insn.Ret { value = Some (Insn.SImm 0L) };
+       Insn.Ret { value = Some (Insn.SImm 1L) } |]
+  in
+  let exit_code, c = run_raw code ~nregs:2 in
+  Alcotest.(check int64) "falls through" 0L exit_code;
+  Alcotest.(check int) "not-taken forward branch predicted" 0
+    c.Counters.branch_mispredicts
+
+let test_predict_not_taken_backward () =
+  let code =
+    [| Insn.Movl { dst = 1; imm = 0L };
+       Insn.Nop;
+       Insn.Brc { cond = 1; ifso = 1; ifnot = 3; site = 7 };
+       Insn.Ret { value = Some (Insn.SImm 0L) } |]
+  in
+  let exit_code, c = run_raw code ~nregs:2 in
+  Alcotest.(check int64) "falls through" 0L exit_code;
+  Alcotest.(check int) "not-taken backward branch mispredicts" 1
+    c.Counters.branch_mispredicts
+
+let test_predict_taken_to_next_pc () =
+  (* ifso = pc + 1: still a *forward* taken branch by direction, so it
+     mispredicts — the predictor keys on direction, not on whether the
+     target happens to be the fall-through address *)
+  let code =
+    [| Insn.Movl { dst = 1; imm = 1L };
+       Insn.Brc { cond = 1; ifso = 2; ifnot = 3; site = 7 };
+       Insn.Ret { value = Some (Insn.SImm 0L) };
+       Insn.Ret { value = Some (Insn.SImm 1L) } |]
+  in
+  let exit_code, c = run_raw code ~nregs:2 in
+  Alcotest.(check int64) "lands on next pc" 0L exit_code;
+  Alcotest.(check int) "taken-to-next-pc still mispredicts" 1
+    c.Counters.branch_mispredicts
+
 (* --- machine vs interpreter differential on hand-written programs --- *)
 
 let differential src =
@@ -272,6 +360,11 @@ let suite =
     Alcotest.test_case "rse no overflow" `Quick test_rse_no_overflow;
     Alcotest.test_case "rse spill/fill" `Quick test_rse_overflow_spill_fill;
     Alcotest.test_case "rse deep recursion" `Quick test_rse_deep_recursion;
+    Alcotest.test_case "predict taken backward" `Quick test_predict_taken_backward;
+    Alcotest.test_case "predict taken forward" `Quick test_predict_taken_forward;
+    Alcotest.test_case "predict not-taken forward" `Quick test_predict_not_taken_forward;
+    Alcotest.test_case "predict not-taken backward" `Quick test_predict_not_taken_backward;
+    Alcotest.test_case "predict taken to next pc" `Quick test_predict_taken_to_next_pc;
     Alcotest.test_case "machine arith (vs interp)" `Quick test_machine_arith;
     Alcotest.test_case "machine control flow (vs interp)" `Quick test_machine_control;
     Alcotest.test_case "machine heap/structs (vs interp)" `Quick test_machine_heap_structs;

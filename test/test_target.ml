@@ -184,6 +184,116 @@ int main() {
   Alcotest.(check bool) "hoisted speculative load" true (speculative_loads >= 1);
   Alcotest.(check bool) "in-loop check" true (checks >= 1)
 
+(* --- block layout: rotation, recovery placement, semantic equivalence --- *)
+
+module Counters = Srp_machine.Counters
+
+let test_layout_rotated_loop_mispredicts () =
+  let src = {|
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 1000; i = i + 1) { s = s + i; }
+  print_int(s);
+  return 0;
+}
+|} in
+  let laid = Codegen.gen_program (compile src) in
+  let flat = Codegen.gen_program ~layout:false (compile src) in
+  let _, out_l, cl = Srp_machine.Machine.run_program laid in
+  let _, out_f, cf = Srp_machine.Machine.run_program flat in
+  Alcotest.(check string) "layout preserves output" out_f out_l;
+  Alcotest.(check bool) "top-tested loop mispredicts every iteration" true
+    (cf.Counters.branch_mispredicts >= 1000);
+  Alcotest.(check bool) "rotated loop retires ~zero steady-state mispredicts"
+    true
+    (cl.Counters.branch_mispredicts < 10);
+  Alcotest.(check bool) "rotation wins cycles" true
+    (cl.Counters.cycles < cf.Counters.cycles)
+
+let test_layout_recovery_out_of_line () =
+  (* cascade promotion (figure 4) emits chk.a recovery blocks; layout must
+     keep them out of the fall-through stream: a recovery entry sits after
+     its check and is never entered by falling off the previous
+     instruction *)
+  let src = {|
+int a; int b;
+int* p;
+int** pp;
+int* r;
+int sel;
+int checksum;
+int main() {
+  int i;
+  p = &a;
+  a = 100;
+  if (sel == 5) { pp = &p; } else { pp = &r; }
+  for (i = 0; i < 40; i = i + 1) {
+    checksum = checksum + *p + 1;
+    *pp = &b;
+    checksum = checksum + *p + 3;
+  }
+  print_int(checksum);
+  print_int(*p);
+  return 0;
+}
+|} in
+  let pprog = compile src in
+  let _, _, profile = Srp_profile.Interp.run_program pprog in
+  let prog = compile src in
+  ignore (Srp_core.Promote.run ~config:(Srp_core.Config.alat_cascade ~profile) prog);
+  let tgt = Codegen.gen_program prog in
+  let f = func tgt "main" in
+  let checks = ref 0 in
+  Array.iteri
+    (fun i ins ->
+      match ins with
+      | Insn.Chk_a { recovery; _ } ->
+        incr checks;
+        Alcotest.(check bool) "recovery is out of line, after the check" true
+          (recovery > i);
+        let before = f.Insn.code.(recovery - 1) in
+        Alcotest.(check bool) "recovery entry not reachable by fall-through"
+          true
+          (match before with
+          | Insn.Br _ | Insn.Brc _ | Insn.Ret _ -> true
+          | _ -> false)
+      | _ -> ())
+    f.Insn.code;
+  Alcotest.(check bool) "program really has chk.a" true (!checks >= 1)
+
+let test_layout_differential_alat () =
+  (* same speculative program, layout on vs off: bit-identical behaviour *)
+  let src = {|
+int p; int b;
+int* q;
+int n;
+int main() {
+  int i;
+  int r = 0;
+  q = &b;
+  p = 3;
+  n = 500;
+  for (i = 0; i < n; i = i + 1) {
+    *q = i;
+    r = r + p;
+    if (i % 7 == 0) { q = &b; }
+  }
+  print_int(r);
+  return 0;
+}
+|} in
+  let build layout =
+    let pprog = compile src in
+    let _, _, profile = Srp_profile.Interp.run_program pprog in
+    let prog = compile src in
+    ignore (Srp_core.Promote.run ~config:(Srp_core.Config.alat ~profile) prog);
+    Codegen.gen_program ~layout prog
+  in
+  let code_l, out_l, _ = Srp_machine.Machine.run_program (build true) in
+  let code_f, out_f, _ = Srp_machine.Machine.run_program (build false) in
+  Alcotest.(check string) "stdout agrees" out_f out_l;
+  Alcotest.(check int64) "exit code agrees" code_f code_l
+
 let test_addr_hoisting () =
   (* a global referenced many times should be materialized once in the
      prologue, not per use *)
@@ -274,7 +384,9 @@ let gen_insn len =
         (fun d b -> Insn.Ld { kind = Insn.K_ld; dst = Insn.DInt d; base = b; site = 0 })
         ireg ireg;
       map2 (fun s b -> Insn.St { src = s; base = b; site = 0 }) isrc ireg;
-      map3 (fun c t1 t2 -> Insn.Brc { cond = c; ifso = t1; ifnot = t2 }) ireg lbl lbl;
+      map3
+        (fun c t1 t2 -> Insn.Brc { cond = c; ifso = t1; ifnot = t2; site = 0 })
+        ireg lbl lbl;
       map (fun t -> Insn.Br { target = t }) lbl;
       return Insn.Nop ]
 
@@ -356,6 +468,9 @@ let suite =
     Alcotest.test_case "ALAT registers dedicated" `Quick test_regalloc_alat_dedicated;
     Alcotest.test_case "figure 1 assembly shape" `Quick test_figure1_assembly_shape;
     Alcotest.test_case "figure 3 assembly shape" `Quick test_figure3_assembly_shape;
+    Alcotest.test_case "layout rotates hot loops" `Quick test_layout_rotated_loop_mispredicts;
+    Alcotest.test_case "layout keeps recovery out of line" `Quick test_layout_recovery_out_of_line;
+    Alcotest.test_case "layout differential (alat)" `Quick test_layout_differential_alat;
     Alcotest.test_case "address hoisting" `Quick test_addr_hoisting;
     Alcotest.test_case "formal spill prologue" `Quick test_formal_spill_prologue;
     Alcotest.test_case "frame layout disjoint" `Quick test_frame_layout_disjoint ]
