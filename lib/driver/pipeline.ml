@@ -92,7 +92,7 @@ type compiled = {
    code generation (static data), the profile comes from the train run.
    [ablations] are config overrides on top of the level (no effect at O0,
    which runs no promotion at all). *)
-let compile ?profile ?(ablations = []) ?(layout = true)
+let compile ?profile ?(ablations = []) ?(layout = true) ?(bundle = true)
     ~(input : Workload.input) (w : Workload.t) (level : level) : compiled =
   let ir = Srp_frontend.Lower.compile_source w.Workload.source in
   Workload.apply_input ir input;
@@ -103,7 +103,7 @@ let compile ?profile ?(ablations = []) ?(layout = true)
       let config = List.fold_left (Fun.flip apply_ablation) config ablations in
       Some (Srp_core.Promote.run ~config ir)
   in
-  let target = Srp_target.Codegen.gen_program ~layout ir in
+  let target = Srp_target.Codegen.gen_program ~layout ~bundle ir in
   { level; ablations; ir; target; promote }
 
 type run_result = {
@@ -124,12 +124,14 @@ let run ?fuel ?trace (c : compiled) : run_result =
 
 (* The standard experiment: profile on train, compile at [level], run on
    ref. *)
-let profile_compile_run ?fuel ?trace ?ablations ?layout (w : Workload.t)
-    (level : level) : run_result =
+let profile_compile_run ?fuel ?trace ?ablations ?layout ?bundle
+    (w : Workload.t) (level : level) : run_result =
   let profile =
     match level with
     | Alat -> Some (train_profile w)
     | O0 | Conservative | Baseline | Alat_heuristic -> None
   in
-  let c = compile ?profile ?ablations ?layout ~input:w.Workload.ref_ w level in
+  let c =
+    compile ?profile ?ablations ?layout ?bundle ~input:w.Workload.ref_ w level
+  in
   run ?fuel ?trace c

@@ -50,11 +50,14 @@ type compiled = {
     into the global initializers before promotion and code generation.
     [ablations] override the level's promotion config (no effect at O0).
     [layout] (default on) runs the post-regalloc block layout pass — turn
-    it off to A/B the branch-layout contribution in isolation. *)
+    it off to A/B the branch-layout contribution in isolation.  [bundle]
+    (default on) packs the laid-out code into IA-64 3-slot bundles so the
+    machine fetches bundle-wise; off = flat instruction stream. *)
 val compile :
   ?profile:Srp_profile.Alias_profile.t ->
   ?ablations:ablation list ->
   ?layout:bool ->
+  ?bundle:bool ->
   input:Workload.input ->
   Workload.t ->
   level ->
@@ -78,6 +81,7 @@ val profile_compile_run :
   ?trace:Srp_obs.Trace.sink ->
   ?ablations:ablation list ->
   ?layout:bool ->
+  ?bundle:bool ->
   Workload.t ->
   level ->
   run_result

@@ -18,6 +18,10 @@ type t = {
   mutable rse_spilled_regs : int;
   mutable rse_filled_regs : int;
   mutable branch_mispredicts : int;
+  mutable bundles_retired : int; (* bundles dispersed (bundle-wise fetch) *)
+  mutable nops_emitted : int; (* retired nop syllables, mostly bundle pads *)
+  mutable split_stalls : int; (* issue groups ended early by a stop bit or
+                                 template port conflict *)
   mutable l1_hits : int;
   mutable l1_misses : int;
   mutable l2_misses : int;
@@ -30,6 +34,7 @@ let create () =
     alat_inserts = 0; alat_evictions = 0; alat_store_invalidations = 0;
     invala_retired = 0; data_access_cycles = 0; rse_cycles = 0;
     rse_spilled_regs = 0; rse_filled_regs = 0; branch_mispredicts = 0;
+    bundles_retired = 0; nops_emitted = 0; split_stalls = 0;
     l1_hits = 0; l1_misses = 0; l2_misses = 0; max_stacked_regs = 0 }
 
 (* The one list every consumer derives from.  The pretty-printer, the JSON
@@ -55,6 +60,9 @@ let to_fields c =
     ("rse_spilled_regs", c.rse_spilled_regs);
     ("rse_filled_regs", c.rse_filled_regs);
     ("branch_mispredicts", c.branch_mispredicts);
+    ("bundles_retired", c.bundles_retired);
+    ("nops_emitted", c.nops_emitted);
+    ("split_stalls", c.split_stalls);
     ("l1_hits", c.l1_hits);
     ("l1_misses", c.l1_misses);
     ("l2_misses", c.l2_misses);

@@ -57,6 +57,15 @@ type t = {
   mutable group_slots : int; (* instructions issued in the current cycle *)
   mutable group_mem : int;
   mutable group_fp : int;
+  (* bundle-wise dispersal state (only driven for bundled functions): how
+     many bundles entered the current issue group, the M/F/B ports their
+     templates reserve, and whether the last dispersed bundle carried an
+     end-of-group stop bit *)
+  mutable group_bundles : int;
+  mutable group_m_ports : int;
+  mutable group_f_ports : int;
+  mutable group_b_ports : int;
+  mutable pending_stop : bool;
   mutable frame_uid : int;
   mutable fuel : int;
   mutable sp : int64;
@@ -65,6 +74,26 @@ type t = {
 let issue_width = 6
 let mem_per_cycle = 2
 let fp_per_cycle = 2
+
+(* Dispersal ports for bundle-wise fetch: up to two bundles per cycle, and
+   across the window the templates may reserve at most 2 M, 2 F and 3 B
+   units (pads reserve their slot's unit too — dispersal routes by
+   template, not by what the syllable turns out to do). *)
+let bundles_per_cycle = 2
+let m_ports_per_cycle = 2
+let f_ports_per_cycle = 2
+let b_ports_per_cycle = 3
+
+let template_ports : Insn.template -> int * int * int = function
+  | Insn.MII -> (1, 0, 0)
+  | Insn.MMI -> (2, 0, 0)
+  | Insn.MIB -> (1, 0, 1)
+  | Insn.MMB -> (2, 0, 1)
+  | Insn.MFI -> (1, 1, 0)
+  | Insn.MMF -> (2, 1, 0)
+  | Insn.MBB -> (1, 0, 2)
+  | Insn.BBB -> (0, 0, 3)
+
 let mispredict_penalty = 6
 
 (* chk.a failure: the front end flushes like a mispredicted branch, then the
@@ -98,7 +127,9 @@ let create ?(fuel = 200_000_000) ?trace (prog : Insn.program) : t =
   { prog; mem; globals; alat = Alat.create (); cache = Cache.create ();
     rse = Rse.create (); c = Counters.create ();
     site_stats = Site_hist.create (); trace; output = Buffer.create 256;
-    cycle = 0; group_slots = 0; group_mem = 0; group_fp = 0; frame_uid = 0;
+    cycle = 0; group_slots = 0; group_mem = 0; group_fp = 0;
+    group_bundles = 0; group_m_ports = 0; group_f_ports = 0;
+    group_b_ports = 0; pending_stop = false; frame_uid = 0;
     fuel; sp = 0x4000_0000L }
 
 (* --- observability helpers --- *)
@@ -146,7 +177,12 @@ let new_group m =
     m.cycle <- m.cycle + 1;
     m.group_slots <- 0;
     m.group_mem <- 0;
-    m.group_fp <- 0
+    m.group_fp <- 0;
+    m.group_bundles <- 0;
+    m.group_m_ports <- 0;
+    m.group_f_ports <- 0;
+    m.group_b_ports <- 0;
+    m.pending_stop <- false
   end
 
 let advance_cycles m n =
@@ -167,6 +203,49 @@ let wait_until m ~ready ~mem_src =
       tr m "stall" [ ("n", J.Int stall); ("mem", J.Bool mem_src) ]
     end
   end
+
+(* The site a split stall is charged to: the first site-carrying syllable
+   of the delayed bundle, -1 when the bundle has none (pads, pure ALU). *)
+let bundle_site (code : Insn.insn array) pc =
+  let site_of : Insn.insn -> int option = function
+    | Insn.Ld { site; _ } | Insn.St { site; _ } | Insn.Chk_a { site; _ }
+    | Insn.Brc { site; _ } | Insn.Alloc { site; _ } ->
+      Some site
+    | _ -> None
+  in
+  let rec go k =
+    if k > 2 || pc + k >= Array.length code then -1
+    else match site_of code.(pc + k) with Some s -> s | None -> go (k + 1)
+  in
+  go 0
+
+(* Bundle-wise dispersal, run whenever execution reaches slot 0 of a
+   bundle.  A third bundle in the cycle rolls the group over naturally; a
+   *second* bundle blocked by the previous bundle's stop bit or by a
+   template port conflict ends the group early — a split, the stall the
+   flat-stream model never paid. *)
+let enter_bundle m code pc (b : Insn.bundle) =
+  let pm, pf, pb = template_ports b.Insn.tmpl in
+  if m.group_bundles >= bundles_per_cycle then new_group m
+  else if
+    m.group_bundles = 1
+    && (m.pending_stop
+       || m.group_m_ports + pm > m_ports_per_cycle
+       || m.group_f_ports + pf > f_ports_per_cycle
+       || m.group_b_ports + pb > b_ports_per_cycle)
+  then begin
+    let was_stop = m.pending_stop in
+    m.c.Counters.split_stalls <- m.c.Counters.split_stalls + 1;
+    ev m ~site:(bundle_site code pc) Srp_obs.Site_hist.Split_stalls;
+    tr m "split" [ ("pc", J.Int pc); ("stop", J.Bool was_stop) ];
+    new_group m
+  end;
+  m.group_bundles <- m.group_bundles + 1;
+  m.group_m_ports <- m.group_m_ports + pm;
+  m.group_f_ports <- m.group_f_ports + pf;
+  m.group_b_ports <- m.group_b_ports + pb;
+  m.pending_stop <- b.Insn.stop;
+  m.c.Counters.bundles_retired <- m.c.Counters.bundles_retired + 1
 
 (* Issue one instruction consuming [mem]/[fp] unit slots. *)
 let issue_slot m ~mem ~fp =
@@ -317,6 +396,11 @@ let rec exec_function m (func : Insn.func) (args : Value.t list) : Value.t optio
 and exec_from m fr pc : Value.t option =
   if pc < 0 || pc >= Array.length fr.func.Insn.code then
     merror "%s: pc %d out of range" fr.func.Insn.name pc;
+  (* bundle-wise fetch: crossing into slot 0 disperses the next bundle *)
+  (match fr.func.Insn.bundles with
+  | Some bs when pc mod 3 = 0 ->
+    enter_bundle m fr.func.Insn.code pc bs.(pc / 3)
+  | _ -> ());
   let ins = fr.func.Insn.code.(pc) in
   (* per-instruction retire record; the field list is only built when a
      sink is attached *)
@@ -476,6 +560,7 @@ and exec_from m fr pc : Value.t option =
     exec_from m fr (pc + 1)
   | Insn.Nop ->
     issue_slot m ~mem:false ~fp:false;
+    m.c.Counters.nops_emitted <- m.c.Counters.nops_emitted + 1;
     exec_from m fr (pc + 1)
 
 and exec_load m fr pc (kind : Insn.ld_kind) (dst : Insn.dest) base site :

@@ -20,11 +20,12 @@ type event =
   | Checks_retired
   | Check_failures
   | Branch_mispredicts
+  | Split_stalls
 
 let all_events =
   [ Loads_retired; Fp_loads_retired; Stores_retired; Alat_inserts;
     Alat_evictions; Alat_store_invalidations; Checks_retired; Check_failures;
-    Branch_mispredicts ]
+    Branch_mispredicts; Split_stalls ]
 
 let event_index = function
   | Loads_retired -> 0
@@ -36,6 +37,7 @@ let event_index = function
   | Checks_retired -> 6
   | Check_failures -> 7
   | Branch_mispredicts -> 8
+  | Split_stalls -> 9
 
 let n_events = List.length all_events
 
@@ -49,6 +51,7 @@ let event_name = function
   | Checks_retired -> "checks_retired"
   | Check_failures -> "check_failures"
   | Branch_mispredicts -> "branch_mispredicts"
+  | Split_stalls -> "split_stalls"
 
 (* site id -> event count vector.  Site -1 is the synthetic site codegen
    uses for spill traffic it manufactures itself. *)

@@ -18,6 +18,10 @@ type event =
   | Checks_retired  (** ld.c and chk.a *)
   | Check_failures
   | Branch_mispredicts  (** static-prediction misses, per branch site *)
+  | Split_stalls
+      (** bundle-dispersal issue groups ended early by a stop bit or
+          template port conflict, charged to the first site-carrying
+          instruction of the delayed bundle ([-1] when it has none) *)
 
 val all_events : event list
 val event_name : event -> string

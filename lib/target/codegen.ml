@@ -422,7 +422,7 @@ let rec flush_recovery ctx =
 
 let round8 n = (n + 7) / 8 * 8
 
-let gen_func ?(layout = true) (f : Func.t) : Insn.func =
+let gen_func ?(layout = true) ?(bundle = true) (f : Func.t) : Insn.func =
   let b =
     { rev = []; len = 0; lbl_pos = Hashtbl.create 16; patches = [];
       next_lbl = -1 }
@@ -552,19 +552,44 @@ let gen_func ?(layout = true) (f : Func.t) : Insn.func =
       code
     end
   in
+  (* bundling last: it only pads and remaps indices, so it composes with
+     both regalloc's ALAT pinning and layout's block order *)
+  let code, bundles =
+    if not bundle then (code, None)
+    else begin
+      let bst = { Bundle.bundles = 0; nops_added = 0; stops = 0 } in
+      let code, bs =
+        Srp_obs.Stats.time ~pass:"target" "bundle" (fun () ->
+            Bundle.run ~stats:bst code)
+      in
+      Srp_obs.Stats.add
+        (Srp_obs.Stats.counter ~pass:"target" "bundles_emitted")
+        bst.Bundle.bundles;
+      Srp_obs.Stats.add
+        (Srp_obs.Stats.counter ~pass:"target" "bundle_nops")
+        bst.Bundle.nops_added;
+      Srp_obs.Stats.add
+        (Srp_obs.Stats.counter ~pass:"target" "bundle_stops")
+        bst.Bundle.stops;
+      (code, Some bs)
+    end
+  in
   { Insn.name = Func.name f;
     formals = List.map (fun (s, d) -> (s, remap_dest d)) formals;
     code;
+    bundles;
     nregs = ra.Regalloc.nregs;
     nfregs = ra.Regalloc.nfregs;
     frame_bytes;
     slot_of_sym = ctx.slot_of_sym }
 
-let gen_program ?(layout = true) (prog : Program.t) : Insn.program =
+let gen_program ?(layout = true) ?(bundle = true) (prog : Program.t) :
+    Insn.program =
   let funcs = Hashtbl.create 16 in
   Srp_obs.Stats.time ~pass:"target" "codegen" (fun () ->
       List.iter
-        (fun f -> Hashtbl.replace funcs (Func.name f) (gen_func ~layout f))
+        (fun f ->
+          Hashtbl.replace funcs (Func.name f) (gen_func ~layout ~bundle f))
         (Program.funcs prog));
   { Insn.funcs;
     func_order = prog.Program.func_order;

@@ -64,10 +64,32 @@ type insn =
    generated code. *)
 let sp = 0
 
+(* --- IA-64 bundles ---
+
+   A bundle holds three syllables dispensed to M (memory), I (integer),
+   F (floating-point) and B (branch) units, named by a template; the
+   realistic subset below covers what our ISA needs.  Only the MII and
+   MMI encodings carry an end-of-bundle stop bit in this subset, so the
+   bundler pads with an all-nop MII;; when a stop is needed after a
+   template that cannot carry one. *)
+
+type template = MII | MMI | MIB | MMB | MFI | MMF | MBB | BBB
+
+type bundle = { tmpl : template; stop : bool (* end-of-bundle ;; *) }
+
+let template_name = function
+  | MII -> "mii" | MMI -> "mmi" | MIB -> "mib" | MMB -> "mmb"
+  | MFI -> "mfi" | MMF -> "mmf" | MBB -> "mbb" | BBB -> "bbb"
+
 type func = {
   name : string;
   formals : (Srp_ir.Symbol.t * dest) list; (* arrival registers, in order *)
   code : insn array;
+  bundles : bundle array option;
+      (* bundle-wise view of [code]: when present, [Array.length code] is
+         exactly [3 * Array.length bundles] and instruction [pc] is slot
+         [pc mod 3] of bundle [pc / 3]; every branch / recovery target
+         lands on a slot-0 boundary.  [None] = flat (unbundled) stream. *)
   nregs : int; (* integer registers used, sp included *)
   nfregs : int;
   frame_bytes : int;
@@ -170,4 +192,15 @@ let pp_func ppf (f : func) =
   Fmt.pf ppf "%s(%a):  // %d iregs, %d fregs, frame %d bytes@." f.name
     (Srp_support.Pp_util.pp_list pp_formal)
     f.formals f.nregs f.nfregs f.frame_bytes;
-  Array.iteri (fun i ins -> Fmt.pf ppf "  .%-4d %a@." i pp_insn ins) f.code
+  match f.bundles with
+  | None -> Array.iteri (fun i ins -> Fmt.pf ppf "  .%-4d %a@." i pp_insn ins) f.code
+  | Some bs ->
+    Array.iteri
+      (fun b { tmpl; stop } ->
+        Fmt.pf ppf "  { .%s@." (template_name tmpl);
+        for s = 0 to 2 do
+          let i = (3 * b) + s in
+          Fmt.pf ppf "  .%-4d   %a@." i pp_insn f.code.(i)
+        done;
+        Fmt.pf ppf "  %s@." (if stop then ";; }" else "}"))
+      bs

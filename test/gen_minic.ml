@@ -21,6 +21,7 @@ type ctx = {
   n_scalars : int;
   n_arrays : int;
   n_ptrs : int;
+  n_helpers : int;
 }
 
 let line ctx fmt =
@@ -77,17 +78,21 @@ and atom ctx =
 
 (* A statement; recursion bounded by ctx.depth. *)
 let rec stmt ctx =
-  let choice = Rng.int ctx.rng 10 in
+  let choice = Rng.int ctx.rng 12 in
   if ctx.depth >= 3 && choice >= 7 then simple ctx
   else
     match choice with
     | 0 | 1 | 2 -> simple ctx
     | 3 ->
-      (* counted loop *)
+      (* counted loop; occasionally 0- or 1-trip so promoted loops with
+         their arming loads hoisted see short trip counts too *)
       let c = Fmt.str "i%d" (Rng.int ctx.rng 1000) in
       if List.mem c ctx.loop_counters then simple ctx
       else begin
-        let bound = 1 + Rng.int ctx.rng 8 in
+        let bound =
+          if Rng.int ctx.rng 4 = 0 then Rng.int ctx.rng 2
+          else 1 + Rng.int ctx.rng 8
+        in
         line ctx "{ int %s;" c;
         ctx.indent <- ctx.indent + 1;
         line ctx "for (%s = 0; %s < %d; %s = %s + 1) {" c c bound c c;
@@ -129,13 +134,27 @@ let rec stmt ctx =
       else line ctx "%s = &%s[%s];" p (array_name ctx) (index ctx)
     | 7 -> line ctx "checksum = checksum + %s;" (expr ctx 2)
     | 8 -> line ctx "print_int(%s);" (expr ctx 1)
+    | 9 ->
+      (* helper call: a whole read/aliased-store/re-read shape behind a
+         call boundary — promotions live across it must stay sound *)
+      if ctx.n_helpers = 0 then simple ctx
+      else
+        line ctx "%s = %s + h%d(%s);" (scalar ctx) (scalar ctx)
+          (Rng.int ctx.rng ctx.n_helpers) (expr ctx 1)
+    | 10 ->
+      (* pointer copy: two names for the same cell from here on *)
+      line ctx "%s = %s;" (ptr ctx) (ptr ctx)
     | _ -> simple ctx
 
 and simple ctx =
-  match Rng.int ctx.rng 4 with
+  match Rng.int ctx.rng 5 with
   | 0 -> line ctx "%s = %s;" (scalar ctx) (expr ctx 2)
   | 1 -> line ctx "%s[%s] = %s;" (array_name ctx) (index ctx) (expr ctx 2)
   | 2 -> line ctx "*%s = %s;" (ptr ctx) (expr ctx 2)
+  | 3 ->
+    (* pointer-to-pointer traffic: a store whose value came through
+       another (possibly aliasing) pointer *)
+    line ctx "*%s = *%s + %s;" (ptr ctx) (ptr ctx) (expr ctx 1)
   | _ ->
     (* the promotion-relevant shape: read, aliased store, re-read *)
     let g = scalar ctx in
@@ -143,11 +162,29 @@ and simple ctx =
     line ctx "*%s = %s + 1;" (ptr ctx) g;
     line ctx "checksum = checksum + %s;" g
 
+(* A helper function: the promotion-relevant read / aliased-store /
+   re-read shape hidden behind a call boundary.  Bodies only touch
+   globals and the integer parameter (never array indices derived from
+   it), so helpers are total wherever they are called — and they are only
+   called from main, after every pointer has been initialized. *)
+let helper ctx i =
+  let g = scalar ctx and g2 = scalar ctx and p = ptr ctx in
+  line ctx "int h%d(int x) {" i;
+  ctx.indent <- 1;
+  line ctx "%s = %s + x;" g g;
+  line ctx "checksum = checksum + %s;" g2;
+  line ctx "*%s = %s + %d;" p g2 (Rng.int ctx.rng 5);
+  line ctx "checksum = checksum + %s;" g2;
+  line ctx "return x + %s;" g;
+  ctx.indent <- 0;
+  line ctx "}"
+
 (* Generate a full program from a seed. *)
-let program ?(n_scalars = 4) ?(n_arrays = 2) ?(n_ptrs = 3) ~seed () : string =
+let program ?(n_scalars = 4) ?(n_arrays = 2) ?(n_ptrs = 3) ?(n_helpers = 2)
+    ~seed () : string =
   let ctx =
     { rng = Rng.create seed; buf = Buffer.create 1024; indent = 0;
-      loop_counters = []; depth = 0; n_scalars; n_arrays; n_ptrs }
+      loop_counters = []; depth = 0; n_scalars; n_arrays; n_ptrs; n_helpers }
   in
   for i = 0 to n_scalars - 1 do
     line ctx "int g%d = %d;" i (Rng.int ctx.rng 20)
@@ -159,6 +196,9 @@ let program ?(n_scalars = 4) ?(n_arrays = 2) ?(n_ptrs = 3) ~seed () : string =
     line ctx "int* p%d;" i
   done;
   line ctx "int checksum;";
+  for i = 0 to n_helpers - 1 do
+    helper ctx i
+  done;
   line ctx "int main() {";
   ctx.indent <- 1;
   (* initialize every pointer before any use *)

@@ -161,8 +161,8 @@ module Insn = Srp_target.Insn
 let raw_main code ~nregs =
   let funcs = Hashtbl.create 1 in
   Hashtbl.replace funcs "main"
-    { Insn.name = "main"; formals = []; code; nregs; nfregs = 0;
-      frame_bytes = 0; slot_of_sym = Hashtbl.create 1 };
+    { Insn.name = "main"; formals = []; code; bundles = None; nregs;
+      nfregs = 0; frame_bytes = 0; slot_of_sym = Hashtbl.create 1 };
   { Insn.funcs; func_order = [ "main" ]; globals = [] }
 
 let run_raw code ~nregs =

@@ -12,6 +12,7 @@ let () =
       ("core", Test_core.suite);
       ("passes", Test_passes.suite);
       ("target", Test_target.suite);
+      ("bundle", Test_bundle.suite);
       ("machine", Test_machine.suite);
       ("random", Test_random.suite);
       ("obs", Test_obs.suite);

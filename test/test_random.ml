@@ -13,43 +13,84 @@ let interp_reference src =
   let code, out, profile = Srp_profile.Interp.run_program prog in
   (code, out, profile)
 
-let machine_run src config =
+let machine_run ?(layout = true) ?(bundle = true) src config =
   let prog = Srp_frontend.Lower.compile_source src in
   (match config with
   | Some c -> ignore (Promote.run ~config:c prog)
   | None -> ());
-  let tgt = Srp_target.Codegen.gen_program prog in
+  let tgt = Srp_target.Codegen.gen_program ~layout ~bundle prog in
   let code, out, _ = Srp_machine.Machine.run_program ~fuel:50_000_000 tgt in
   (code, out)
 
-let check_level src name expected config =
-  let code, out = machine_run src config in
+let check_level ?layout ?bundle src name expected config =
+  let code, out = machine_run ?layout ?bundle src config in
   if out <> snd expected || code <> fst expected then
     Alcotest.failf "%s diverged!\n--- source ---\n%s\n--- expected ---\n%s--- got ---\n%s"
       name src (snd expected) out
+
+(* the level sweep every seed goes through; the empty profile is the
+   adversarial case: it claims nothing ever aliases, so every chi becomes
+   speculative and the ALAT checks must repair all of it *)
+let level_configs profile =
+  let empty = Srp_profile.Alias_profile.create () in
+  [ ("O0", None);
+    ("conservative", Some Config.conservative);
+    ("baseline(software)", Some Config.baseline);
+    ("alat-heuristic", Some Config.alat_heuristic);
+    ("alat-profile", Some (Config.alat ~profile));
+    ("alat-wrong-profile", Some (Config.alat ~profile:empty)) ]
 
 let run_seed seed =
   let src = Gen_minic.program ~seed () in
   let code, out, profile = interp_reference src in
   let expected = (code, out) in
-  check_level src "O0" expected None;
-  check_level src "conservative" expected (Some Config.conservative);
-  check_level src "baseline(software)" expected (Some Config.baseline);
-  check_level src "alat-heuristic" expected (Some Config.alat_heuristic);
-  check_level src "alat-profile" expected (Some (Config.alat ~profile));
-  (* adversarial: an empty profile claims nothing ever aliases, so every
-     chi becomes speculative; the ALAT checks must repair all of it *)
-  let empty = Srp_profile.Alias_profile.create () in
-  check_level src "alat-wrong-profile" expected (Some (Config.alat ~profile:empty));
+  List.iter
+    (fun (name, config) ->
+      check_level src (Fmt.str "seed %d %s" seed name) expected config)
+    (level_configs profile);
   (* conservative promotion must also be interpretable *)
   let prog = Srp_frontend.Lower.compile_source src in
   ignore (Promote.run ~config:Config.conservative prog);
   let _, out2, _ = Srp_profile.Interp.run_program ~collect_profile:false prog in
   if out2 <> out then Alcotest.failf "conservative interp diverged for seed %d" seed
 
+(* every level crossed with the backend ablation axes: {layout,bundle}
+   on/off.  The failure message carries the reproducing seed. *)
+let run_seed_matrix seed =
+  let src = Gen_minic.program ~seed () in
+  let code, out, profile = interp_reference src in
+  let expected = (code, out) in
+  List.iter
+    (fun (layout, bundle) ->
+      List.iter
+        (fun (name, config) ->
+          check_level ~layout ~bundle src
+            (Fmt.str "seed %d %s (layout=%b bundle=%b)" seed name layout bundle)
+            expected config)
+        (level_configs profile))
+    [ (true, true); (true, false); (false, true); (false, false) ]
+
 let test_batch lo hi () =
   for seed = lo to hi do
     run_seed seed
+  done
+
+let test_matrix_batch lo hi () =
+  for seed = lo to hi do
+    run_seed_matrix seed
+  done
+
+(* SRP_FUZZ_ITERS=N runs N extra seeds through the full
+   level x layout x bundle matrix — off (0) in the default test run, used
+   by the non-blocking CI fuzz job and for local soak testing. *)
+let fuzz_iters =
+  match Sys.getenv_opt "SRP_FUZZ_ITERS" with
+  | Some s -> ( try max 0 (int_of_string s) with _ -> 0)
+  | None -> 0
+
+let test_fuzz_sweep () =
+  for seed = 10_000 to 10_000 + fuzz_iters - 1 do
+    run_seed_matrix seed
   done
 
 (* A couple of adversarial hand-picked shapes the generator rarely hits. *)
@@ -111,5 +152,12 @@ let suite =
     Alcotest.test_case "random differential seeds 41-80" `Quick (test_batch 41 80);
     Alcotest.test_case "random differential seeds 81-120" `Slow (test_batch 81 120);
     Alcotest.test_case "random differential seeds 121-200" `Slow (test_batch 121 200);
+    Alcotest.test_case "matrix differential seeds 1-10 (layout x bundle)" `Quick
+      (test_matrix_batch 1 10);
+    Alcotest.test_case "matrix differential seeds 11-30 (layout x bundle)" `Slow
+      (test_matrix_batch 11 30);
+    Alcotest.test_case
+      (Fmt.str "fuzz sweep (SRP_FUZZ_ITERS=%d)" fuzz_iters)
+      `Quick test_fuzz_sweep;
     Alcotest.test_case "alias storm" `Quick test_alias_storm;
     Alcotest.test_case "self-aliasing pointer walk" `Quick test_self_aliasing_walk ]
