@@ -78,6 +78,13 @@ let no_bundle_arg =
            ~doc:"skip the IA-64 bundling pass and issue from a flat \
                  instruction stream, for A/B-ing template-induced splits")
 
+let no_split_arg =
+  Arg.(value & flag
+       & info [ "no-split" ]
+           ~doc:"allocate registers with one closed interval per vreg \
+                 instead of hole-aware live ranges with splitting, for \
+                 A/B-ing the allocator upgrade")
+
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -106,14 +113,14 @@ let workload_of_file path =
     source = read_file path; train = []; ref_ = [] }
 
 let compile_cmd =
-  let run file level asm no_layout no_bundle =
+  let run file level asm no_layout no_bundle no_split =
     let w = workload_of_file file in
     let profile =
       match level with Pipeline.Alat -> Some (Pipeline.train_profile w) | _ -> None
     in
     let c =
       Pipeline.compile ?profile ~layout:(not no_layout)
-        ~bundle:(not no_bundle) ~input:[] w level
+        ~bundle:(not no_bundle) ~split:(not no_split) ~input:[] w level
     in
     if asm then
       List.iter
@@ -133,15 +140,16 @@ let compile_cmd =
   in
   Cmd.v (Cmd.info "compile" ~doc:"compile a MiniC file and dump IR/assembly")
     Term.(const run $ file_arg $ level_arg $ asm_arg $ no_layout_arg
-          $ no_bundle_arg)
+          $ no_bundle_arg $ no_split_arg)
 
 let run_cmd =
-  let run file level ablations json trace no_layout no_bundle =
+  let run file level ablations json trace no_layout no_bundle no_split =
     let w = workload_of_file file in
     let r =
       with_trace trace (fun trace ->
           Pipeline.profile_compile_run ?trace ~ablations
-            ~layout:(not no_layout) ~bundle:(not no_bundle) w level)
+            ~layout:(not no_layout) ~bundle:(not no_bundle)
+            ~split:(not no_split) w level)
     in
     if json then
       Fmt.pr "%s@." (J.to_string ~indent:2 (Emit.run_json ~name:w.Workload.name r))
@@ -156,7 +164,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"compile and execute on the machine simulator")
     Term.(const run $ file_arg $ level_arg $ ablation_arg $ json_arg $ trace_arg
-          $ no_layout_arg $ no_bundle_arg)
+          $ no_layout_arg $ no_bundle_arg $ no_split_arg)
 
 let profile_cmd =
   let out_arg =

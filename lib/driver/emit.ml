@@ -84,6 +84,24 @@ let run_json ~name (r : Pipeline.run_result) : J.t =
       ("top_misspeculating_sites", top_missers_json r.Pipeline.site_stats);
       ("top_mispredicting_branches", top_mispredicts_json r.Pipeline.site_stats) ]
 
+(* Register demand of one build: the per-function physical file sizes the
+   allocator settled on.  [total] is what the RSE sees (every call
+   allocates the callee's frame), [max] is the widest single frame. *)
+let nregs_json (r : Pipeline.run_result) : J.t =
+  let tgt = r.Pipeline.compiled.Pipeline.target in
+  let total = ref 0 and widest = ref 0 and ftotal = ref 0 in
+  Hashtbl.iter
+    (fun _ f ->
+      total := !total + f.Srp_target.Insn.nregs;
+      ftotal := !ftotal + f.Srp_target.Insn.nfregs;
+      if f.Srp_target.Insn.nregs > !widest then widest := f.Srp_target.Insn.nregs)
+    tgt.Srp_target.Insn.funcs;
+  J.Obj
+    [ ("nregs", J.Int !total);
+      ("max_frame_nregs", J.Int !widest);
+      ("nfregs", J.Int !ftotal);
+      ("split", J.Bool r.Pipeline.compiled.Pipeline.split) ]
+
 (* One baseline-vs-speculative comparison, as the bench harness computes
    it: the four figure rows plus both builds' raw counters. *)
 let bench_entry_json (r : Experiments.bench_result) : J.t =
@@ -92,6 +110,10 @@ let bench_entry_json (r : Experiments.bench_result) : J.t =
   let spec = r.Experiments.spec.Pipeline.counters in
   J.Obj
     [ ("name", J.String name);
+      ("regalloc",
+       J.Obj
+         [ ("baseline", nregs_json r.Experiments.base);
+           ("alat", nregs_json r.Experiments.spec) ]);
       ("figure8", Report.fig8_json (Report.figure8_row ~name ~base ~spec));
       ("figure9",
        Report.fig9_json

@@ -83,6 +83,7 @@ let config_of_level (level : level) (profile : Alias_profile.t option) :
 type compiled = {
   level : level;
   ablations : ablation list;
+  split : bool; (* hole-aware regalloc with live-range splitting *)
   ir : Program.t;
   target : Srp_target.Insn.program;
   promote : Srp_core.Promote.result option;
@@ -91,9 +92,11 @@ type compiled = {
 (* Compile [w] at [level]; the ref input is applied to the globals before
    code generation (static data), the profile comes from the train run.
    [ablations] are config overrides on top of the level (no effect at O0,
-   which runs no promotion at all). *)
+   which runs no promotion at all).  [split:false] selects the
+   closed-interval allocator (the --no-split ablation). *)
 let compile ?profile ?(ablations = []) ?(layout = true) ?(bundle = true)
-    ~(input : Workload.input) (w : Workload.t) (level : level) : compiled =
+    ?(split = true) ~(input : Workload.input) (w : Workload.t) (level : level)
+    : compiled =
   let ir = Srp_frontend.Lower.compile_source w.Workload.source in
   Workload.apply_input ir input;
   let promote =
@@ -103,8 +106,12 @@ let compile ?profile ?(ablations = []) ?(layout = true) ?(bundle = true)
       let config = List.fold_left (Fun.flip apply_ablation) config ablations in
       Some (Srp_core.Promote.run ~config ir)
   in
-  let target = Srp_target.Codegen.gen_program ~layout ~bundle ir in
-  { level; ablations; ir; target; promote }
+  let ra =
+    if split then Srp_target.Regalloc.default_policy
+    else Srp_target.Regalloc.closed_policy
+  in
+  let target = Srp_target.Codegen.gen_program ~layout ~bundle ~ra ir in
+  { level; ablations; split; ir; target; promote }
 
 type run_result = {
   compiled : compiled;
@@ -124,7 +131,7 @@ let run ?fuel ?trace (c : compiled) : run_result =
 
 (* The standard experiment: profile on train, compile at [level], run on
    ref. *)
-let profile_compile_run ?fuel ?trace ?ablations ?layout ?bundle
+let profile_compile_run ?fuel ?trace ?ablations ?layout ?bundle ?split
     (w : Workload.t) (level : level) : run_result =
   let profile =
     match level with
@@ -132,6 +139,7 @@ let profile_compile_run ?fuel ?trace ?ablations ?layout ?bundle
     | O0 | Conservative | Baseline | Alat_heuristic -> None
   in
   let c =
-    compile ?profile ?ablations ?layout ?bundle ~input:w.Workload.ref_ w level
+    compile ?profile ?ablations ?layout ?bundle ?split ~input:w.Workload.ref_
+      w level
   in
   run ?fuel ?trace c

@@ -41,6 +41,9 @@ val apply_ablation : ablation -> Srp_core.Config.t -> Srp_core.Config.t
 type compiled = {
   level : level;
   ablations : ablation list;
+  split : bool;
+      (** hole-aware regalloc with live-range splitting (off = the
+          closed-interval allocator, the [--no-split] ablation) *)
   ir : Program.t;  (** the (possibly promoted) IR *)
   target : Srp_target.Insn.program;
   promote : Srp_core.Promote.result option;
@@ -52,12 +55,15 @@ type compiled = {
     [layout] (default on) runs the post-regalloc block layout pass — turn
     it off to A/B the branch-layout contribution in isolation.  [bundle]
     (default on) packs the laid-out code into IA-64 3-slot bundles so the
-    machine fetches bundle-wise; off = flat instruction stream. *)
+    machine fetches bundle-wise; off = flat instruction stream.  [split]
+    (default on) selects the hole-aware live-range allocator; off falls
+    back to one closed interval per vreg. *)
 val compile :
   ?profile:Srp_profile.Alias_profile.t ->
   ?ablations:ablation list ->
   ?layout:bool ->
   ?bundle:bool ->
+  ?split:bool ->
   input:Workload.input ->
   Workload.t ->
   level ->
@@ -82,6 +88,7 @@ val profile_compile_run :
   ?ablations:ablation list ->
   ?layout:bool ->
   ?bundle:bool ->
+  ?split:bool ->
   Workload.t ->
   level ->
   run_result

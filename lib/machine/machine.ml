@@ -610,6 +610,11 @@ and exec_load m fr pc (kind : Insn.ld_kind) (dst : Insn.dest) base site :
       arm ()
     | None -> (
       tr m "ld.sa.nat" [ ("site", J.Int site) ];
+      (* IA-64: a deferred fault also invalidates any matching ALAT entry,
+         so a later ld.c on this register misses and reloads instead of
+         validating a stale entry left by a previous occupant of the
+         (possibly reused) register *)
+      Alat.remove m.alat (alat_tag fr dst);
       match dst with
       | Insn.DInt r -> fr.inat.(r) <- true
       | Insn.DFlt f -> fr.fnat.(f) <- true))

@@ -1,9 +1,11 @@
 (** Register Stack Engine model (paper Figure 11).
 
     Every function allocates its integer register frame at the prologue;
-    96 physical stacked registers back the frames of the whole call stack.
-    Overflow spills the oldest frames to the backing store at one register
-    per cycle; a return that re-exposes a spilled frame fills it back.
+    a fixed pool of physical stacked registers (default 24, a
+    scaled-down stand-in for Itanium's 96 to match our scaled-down
+    kernels) backs the frames of the whole call stack.  Overflow spills
+    the oldest frames to the backing store at one register per cycle; a
+    return that re-exposes a spilled frame fills it back.
     The paper's observation — promotion widens frames slightly, so RSE
     traffic can rise by tens of percent while remaining a vanishing
     fraction of execution — reproduces through this model. *)

@@ -422,7 +422,8 @@ let rec flush_recovery ctx =
 
 let round8 n = (n + 7) / 8 * 8
 
-let gen_func ?(layout = true) ?(bundle = true) (f : Func.t) : Insn.func =
+let gen_func ?(layout = true) ?(bundle = true)
+    ?(ra = Regalloc.default_policy) (f : Func.t) : Insn.func =
   let b =
     { rev = []; len = 0; lbl_pos = Hashtbl.create 16; patches = [];
       next_lbl = -1 }
@@ -524,13 +525,33 @@ let gen_func ?(layout = true) ?(bundle = true) (f : Func.t) : Insn.func =
   in
   let ra =
     Srp_obs.Stats.time ~pass:"target" "regalloc" (fun () ->
-        Regalloc.run
+        Regalloc.run ~policy:ra
           { Regalloc.code; nivregs = ctx.next_ireg; nfvregs = ctx.next_freg;
-            live_in; flive_in; pinned = pinned_i; fpinned = pinned_f })
+            live_in; flive_in; pinned = pinned_i; fpinned = pinned_f;
+            spill_base = frame_bytes })
   in
+  (* spill slots live past the symbol slots; splitting may grow the frame,
+     slot coloring keeps the growth to the peak overlap *)
+  let frame_bytes = frame_bytes + ra.Regalloc.spill_bytes in
+  (* spill reloads/stores shift instruction indices: recovery code now
+     starts where the old boundary landed *)
+  let body_len = ra.Regalloc.new_index.(body_len) in
   Srp_obs.Stats.set_max
     (Srp_obs.Stats.counter ~pass:"target" "max_int_regs")
     ra.Regalloc.nregs;
+  let rst = ra.Regalloc.stats in
+  List.iter
+    (fun (name, v) ->
+      Srp_obs.Stats.add (Srp_obs.Stats.counter ~pass:"target" name) v)
+    [ ("subranges", rst.Regalloc.subranges);
+      ("webs", rst.Regalloc.webs);
+      ("splits_inserted", rst.Regalloc.splits_inserted);
+      ("spilled_webs", rst.Regalloc.spilled_webs);
+      ("spill_slots", rst.Regalloc.spill_slots);
+      ("spill_reloads", rst.Regalloc.reloads);
+      ("spill_stores", rst.Regalloc.spill_stores);
+      ("remat_webs", rst.Regalloc.remat_webs);
+      ("remat_uses", rst.Regalloc.remat_uses) ];
   let remap_dest = function
     | Insn.DInt r -> Insn.DInt ra.Regalloc.imap.(r)
     | Insn.DFlt fr -> Insn.DFlt ra.Regalloc.fmap.(fr)
@@ -583,13 +604,13 @@ let gen_func ?(layout = true) ?(bundle = true) (f : Func.t) : Insn.func =
     frame_bytes;
     slot_of_sym = ctx.slot_of_sym }
 
-let gen_program ?(layout = true) ?(bundle = true) (prog : Program.t) :
-    Insn.program =
+let gen_program ?(layout = true) ?(bundle = true)
+    ?(ra = Regalloc.default_policy) (prog : Program.t) : Insn.program =
   let funcs = Hashtbl.create 16 in
   Srp_obs.Stats.time ~pass:"target" "codegen" (fun () ->
       List.iter
         (fun f ->
-          Hashtbl.replace funcs (Func.name f) (gen_func ~layout ~bundle f))
+          Hashtbl.replace funcs (Func.name f) (gen_func ~layout ~bundle ~ra f))
         (Program.funcs prog));
   { Insn.funcs;
     func_order = prog.Program.func_order;

@@ -13,17 +13,21 @@ let interp_reference src =
   let code, out, profile = Srp_profile.Interp.run_program prog in
   (code, out, profile)
 
-let machine_run ?(layout = true) ?(bundle = true) src config =
+let machine_run ?(layout = true) ?(bundle = true) ?(split = true) src config =
   let prog = Srp_frontend.Lower.compile_source src in
   (match config with
   | Some c -> ignore (Promote.run ~config:c prog)
   | None -> ());
-  let tgt = Srp_target.Codegen.gen_program ~layout ~bundle prog in
+  let ra =
+    if split then Srp_target.Regalloc.default_policy
+    else Srp_target.Regalloc.closed_policy
+  in
+  let tgt = Srp_target.Codegen.gen_program ~layout ~bundle ~ra prog in
   let code, out, _ = Srp_machine.Machine.run_program ~fuel:50_000_000 tgt in
   (code, out)
 
-let check_level ?layout ?bundle src name expected config =
-  let code, out = machine_run ?layout ?bundle src config in
+let check_level ?layout ?bundle ?split src name expected config =
+  let code, out = machine_run ?layout ?bundle ?split src config in
   if out <> snd expected || code <> fst expected then
     Alcotest.failf "%s diverged!\n--- source ---\n%s\n--- expected ---\n%s--- got ---\n%s"
       name src (snd expected) out
@@ -54,21 +58,27 @@ let run_seed seed =
   let _, out2, _ = Srp_profile.Interp.run_program ~collect_profile:false prog in
   if out2 <> out then Alcotest.failf "conservative interp diverged for seed %d" seed
 
-(* every level crossed with the backend ablation axes: {layout,bundle}
-   on/off.  The failure message carries the reproducing seed. *)
-let run_seed_matrix seed =
+(* every level crossed with the backend ablation axes:
+   {layout,bundle,split} on/off.  The failure message carries the
+   reproducing seed. *)
+let default_combos =
+  [ (true, true, true); (true, false, true); (false, true, true);
+    (false, false, true); (true, true, false); (false, false, false) ]
+
+let run_seed_matrix ?(combos = default_combos) seed =
   let src = Gen_minic.program ~seed () in
   let code, out, profile = interp_reference src in
   let expected = (code, out) in
   List.iter
-    (fun (layout, bundle) ->
+    (fun (layout, bundle, split) ->
       List.iter
         (fun (name, config) ->
-          check_level ~layout ~bundle src
-            (Fmt.str "seed %d %s (layout=%b bundle=%b)" seed name layout bundle)
+          check_level ~layout ~bundle ~split src
+            (Fmt.str "seed %d %s (layout=%b bundle=%b split=%b)" seed name
+               layout bundle split)
             expected config)
         (level_configs profile))
-    [ (true, true); (true, false); (false, true); (false, false) ]
+    combos
 
 let test_batch lo hi () =
   for seed = lo to hi do
@@ -81,16 +91,26 @@ let test_matrix_batch lo hi () =
   done
 
 (* SRP_FUZZ_ITERS=N runs N extra seeds through the full
-   level x layout x bundle matrix — off (0) in the default test run, used
-   by the non-blocking CI fuzz job and for local soak testing. *)
+   level x layout x bundle x split matrix — off (0) in the default test
+   run, used by the non-blocking CI fuzz jobs and for local soak testing.
+   SRP_FUZZ_SPLIT=0 focuses the sweep on the closed-interval allocator
+   (split off across every layout/bundle combo), so both allocator paths
+   get their own CI soak. *)
 let fuzz_iters =
   match Sys.getenv_opt "SRP_FUZZ_ITERS" with
   | Some s -> ( try max 0 (int_of_string s) with _ -> 0)
   | None -> 0
 
+let fuzz_combos =
+  match Sys.getenv_opt "SRP_FUZZ_SPLIT" with
+  | Some ("0" | "off" | "false") ->
+    [ (true, true, false); (true, false, false); (false, true, false);
+      (false, false, false) ]
+  | _ -> default_combos
+
 let test_fuzz_sweep () =
   for seed = 10_000 to 10_000 + fuzz_iters - 1 do
-    run_seed_matrix seed
+    run_seed_matrix ~combos:fuzz_combos seed
   done
 
 (* A couple of adversarial hand-picked shapes the generator rarely hits. *)
