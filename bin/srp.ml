@@ -142,12 +142,23 @@ let compile_cmd =
     Term.(const run $ file_arg $ level_arg $ asm_arg $ no_layout_arg
           $ no_bundle_arg $ no_split_arg)
 
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"compile through the seed monolithic pipeline instead of \
+                 the staged artifact path — the reference the staged \
+                 path is held bit-identical to")
+
 let run_cmd =
-  let run file level ablations json trace no_layout no_bundle no_split =
+  let run file level ablations json trace no_layout no_bundle no_split no_cache =
     let w = workload_of_file file in
+    let pcr =
+      if no_cache then Pipeline.profile_compile_run_monolithic
+      else Pipeline.profile_compile_run ?cache:None
+    in
     let r =
       with_trace trace (fun trace ->
-          Pipeline.profile_compile_run ?trace ~ablations
+          pcr ?trace ~ablations
             ~layout:(not no_layout) ~bundle:(not no_bundle)
             ~split:(not no_split) w level)
     in
@@ -164,7 +175,33 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"compile and execute on the machine simulator")
     Term.(const run $ file_arg $ level_arg $ ablation_arg $ json_arg $ trace_arg
-          $ no_layout_arg $ no_bundle_arg $ no_split_arg)
+          $ no_layout_arg $ no_bundle_arg $ no_split_arg $ no_cache_arg)
+
+let serve_cmd =
+  let capacity_arg =
+    Arg.(value & opt int 512
+         & info [ "cache-capacity" ] ~docv:"N"
+             ~doc:"artifact store capacity (entries); least-recently-used \
+                   artifacts are evicted beyond it")
+  in
+  let run capacity =
+    let lookup name =
+      List.find_opt
+        (fun w -> w.Workload.name = name)
+        (Srp_workloads.Registry.all ())
+    in
+    let failed =
+      Srp_driver.Serve.serve ~lookup ~now:Unix.gettimeofday ~capacity stdin
+        stdout
+    in
+    if failed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"batch compile-and-simulate daemon: JSON-lines jobs on stdin \
+             (schema srp-serve-v1), one response line per job plus a \
+             summary with compiles/sec and cache hit rate")
+    Term.(const run $ capacity_arg)
 
 let profile_cmd =
   let out_arg =
@@ -223,9 +260,18 @@ let bench_cmd =
   in
   let run name ablations json out =
     let w = Srp_workloads.Registry.find name in
-    let r = Srp_driver.Experiments.run_pair ~ablations w in
+    let cache = Srp_driver.Stage.create () in
+    let t0 = Unix.gettimeofday () in
+    let r = Srp_driver.Experiments.run_pair ~cache ~ablations w in
+    let wall_secs = Unix.gettimeofday () -. t0 in
     if json || out <> None then begin
-      let doc = Emit.bench_json [ r ] in
+      let doc =
+        Emit.bench_json
+          ~cache:
+            (Emit.cache_json ~stats:(Srp_driver.Stage.stats cache) ~compiles:2
+               ~wall_secs)
+          [ r ]
+      in
       match out with
       | Some path ->
         Emit.write_file path doc;
@@ -265,4 +311,4 @@ let list_cmd =
 let () =
   let doc = "speculative register promotion using ALAT (CGO 2003 reproduction)" in
   let info = Cmd.info "srp" ~doc in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; profile_cmd; ssa_cmd; bench_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; profile_cmd; ssa_cmd; bench_cmd; serve_cmd; list_cmd ]))

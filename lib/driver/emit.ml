@@ -133,12 +133,31 @@ let bench_entry_json (r : Experiments.bench_result) : J.t =
       ("alat_top_mispredicting_branches",
        top_mispredicts_json r.Experiments.spec.Pipeline.site_stats) ]
 
-let bench_json ?(quick = false) (rs : Experiments.bench_result list) : J.t =
+(* The artifact-cache block of a bench run: store counters plus the
+   sweep's effective build throughput.  [compiles] is the number of
+   (workload, level) build-and-run tasks, [wall_secs] the sweep's
+   wall-clock time. *)
+let cache_json ~(stats : Stage.cache_stats) ~compiles ~wall_secs : J.t =
   J.Obj
-    [ ("schema", J.String "srp-bench-v1");
-      ("quick", J.Bool quick);
-      ("benchmarks", J.Arr (List.map bench_entry_json rs));
-      ("pass_stats", Srp_obs.Stats.to_json ()) ]
+    [ ("hits", J.Int stats.Stage.hits);
+      ("misses", J.Int stats.Stage.misses);
+      ("evictions", J.Int stats.Stage.evictions);
+      ("hit_rate", J.Float (Stage.hit_rate stats));
+      ("compiles", J.Int compiles);
+      ("wall_secs", J.Float wall_secs);
+      ("compiles_per_sec",
+       J.Float
+         (if wall_secs > 0.0 then float_of_int compiles /. wall_secs else 0.0))
+    ]
+
+let bench_json ?(quick = false) ?cache (rs : Experiments.bench_result list) :
+    J.t =
+  J.Obj
+    ([ ("schema", J.String "srp-bench-v1");
+       ("quick", J.Bool quick);
+       ("benchmarks", J.Arr (List.map bench_entry_json rs)) ]
+    @ (match cache with None -> [] | Some c -> [ ("cache", c) ])
+    @ [ ("pass_stats", Srp_obs.Stats.to_json ()) ])
 
 let write_file path (doc : J.t) : unit =
   let oc = open_out path in

@@ -19,49 +19,23 @@ let promote_stats (r : Pipeline.run_result) : Srp_core.Ssapre.stats =
   | Some p -> p.Srp_core.Promote.stats
   | None -> Srp_core.Ssapre.empty_stats ()
 
-(* Run one workload at baseline and ALAT levels and check equivalence.
-   [ablations] apply to the speculative build only — the baseline stays
-   the fixed reference the figures are normalized against. *)
-let run_pair ?fuel ?ablations (w : Workload.t) : bench_result =
-  let base = Pipeline.profile_compile_run ?fuel w Pipeline.Baseline in
-  let spec = Pipeline.profile_compile_run ?fuel ?ablations w Pipeline.Alat in
-  if base.Pipeline.output <> spec.Pipeline.output then
-    raise
-      (Output_mismatch
-         (Fmt.str "%s: baseline and speculative outputs differ!" w.Workload.name));
-  { w; base; spec }
-
-(* Run the whole suite from a pool of worker domains.  The work unit is
-   one (workload, level) build-and-run — two tasks per workload — handed
-   out by an atomic ticket counter; every result lands in its submission
-   slot, so the figure tables and the --json rows come out in registry
-   order no matter how the domains are scheduled.  The pipeline has no
-   cross-run mutable state apart from the Stats registry, which is
-   domain-safe (lib/obs/stats.ml); each run builds its own programs,
-   machine and ALAT.  The baseline-vs-speculative output check happens
-   after the join, exactly as in the sequential run_pair. *)
-let run_all ?fuel (workloads : Workload.t list) : bench_result list =
-  let ws = Array.of_list workloads in
-  let n = Array.length ws in
-  let ntasks = 2 * n in
+(* The worker-domain pool the suite (and `srp serve`) fans out on: hand
+   task indices out by an atomic ticket counter, land every result in its
+   submission slot so output order never depends on domain scheduling.
+   The calling domain works too; SRP_BENCH_JOBS overrides the pool size
+   (mostly for exercising the multi-domain path on single-core
+   machines). *)
+let pool_map ~(ntasks : int) (f : int -> 'a) : ('a, exn) result array =
   let slots = Array.make ntasks None in
   let next = Atomic.make 0 in
-  let run_task i =
-    let w = ws.(i / 2) in
-    let level = if i mod 2 = 0 then Pipeline.Baseline else Pipeline.Alat in
-    Pipeline.profile_compile_run ?fuel w level
-  in
   let worker () =
     let continue_ = ref true in
     while !continue_ do
       let i = Atomic.fetch_and_add next 1 in
       if i >= ntasks then continue_ := false
-      else slots.(i) <- Some (try Ok (run_task i) with e -> Error e)
+      else slots.(i) <- Some (try Ok (f i) with e -> Error e)
     done
   in
-  (* ntasks-1 helpers at most: the calling domain works too.
-     SRP_BENCH_JOBS overrides the pool size (mostly for exercising the
-     multi-domain path on single-core machines). *)
   let jobs =
     match Sys.getenv_opt "SRP_BENCH_JOBS" with
     | Some s -> ( match int_of_string_opt s with Some j when j > 0 -> j | _ -> 1 )
@@ -71,11 +45,46 @@ let run_all ?fuel (workloads : Workload.t list) : bench_result list =
   let domains = List.init helpers (fun _ -> Domain.spawn worker) in
   worker ();
   List.iter Domain.join domains;
+  Array.map (function Some r -> r | None -> assert false) slots
+
+(* Run one workload at baseline and ALAT levels and check equivalence.
+   [ablations] apply to the speculative build only — the baseline stays
+   the fixed reference the figures are normalized against.  [cache]
+   shares stage artifacts between the two builds (one lower, one input
+   application per input set). *)
+let run_pair ?fuel ?cache ?ablations (w : Workload.t) : bench_result =
+  let base = Pipeline.profile_compile_run ?fuel ?cache w Pipeline.Baseline in
+  let spec =
+    Pipeline.profile_compile_run ?fuel ?cache ?ablations w Pipeline.Alat
+  in
+  if base.Pipeline.output <> spec.Pipeline.output then
+    raise
+      (Output_mismatch
+         (Fmt.str "%s: baseline and speculative outputs differ!" w.Workload.name));
+  { w; base; spec }
+
+(* Run the whole suite from a pool of worker domains (pool_map).  The
+   work unit is one (workload, level) build-and-run — two tasks per
+   workload — so the figure tables and the --json rows come out in
+   registry order no matter how the domains are scheduled.  The pipeline
+   has no cross-run mutable state apart from the Stats registry and the
+   optional stage cache, both domain-safe; with [cache] the two builds of
+   a workload share its lower and apply-input artifacts, so the sweep
+   lowers each source once instead of thrice (train + 2 levels).  The
+   baseline-vs-speculative output check happens after the join, exactly
+   as in the sequential run_pair. *)
+let run_all ?fuel ?cache (workloads : Workload.t list) : bench_result list =
+  let ws = Array.of_list workloads in
+  let n = Array.length ws in
+  let ntasks = 2 * n in
+  let run_task i =
+    let w = ws.(i / 2) in
+    let level = if i mod 2 = 0 then Pipeline.Baseline else Pipeline.Alat in
+    Pipeline.profile_compile_run ?fuel ?cache w level
+  in
+  let slots = pool_map ~ntasks run_task in
   let result i =
-    match slots.(i) with
-    | Some (Ok r) -> r
-    | Some (Error e) -> raise e
-    | None -> assert false
+    match slots.(i) with Ok r -> r | Error e -> raise e
   in
   List.init n (fun k ->
       let base = result (2 * k) and spec = result ((2 * k) + 1) in

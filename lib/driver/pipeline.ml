@@ -9,7 +9,17 @@
    - [Alat_heuristic]: ALAT speculation from static heuristics only —
      the no-profile ablation;
    - [Conservative]: PRE without any speculation (software checks off),
-     isolating the value of the software baseline itself. *)
+     isolating the value of the software baseline itself.
+
+   Since the staged-pipeline refactor a compile is a chain of named stages
+   (lower -> apply-input -> profile -> promote -> select -> regalloc ->
+   layout -> bundle), each keyed by content (Stage.Key) and each an
+   immutable artifact that any number of builds can share — the bench
+   sweep lowers each source once and `srp serve` shares train profiles
+   across a batch.  The original monolithic path survives unchanged as
+   [*_monolithic]: it is the reference the differential tests (and the
+   `srp run --no-cache` ablation) hold the staged path bit-identical
+   against. *)
 
 open Srp_ir
 module Alias_profile = Srp_profile.Alias_profile
@@ -28,15 +38,10 @@ let level_name = function
   | Alat -> "alat"
   | Alat_heuristic -> "alat-heuristic"
 
-(* Collect an alias profile by interpreting the program on the train
-   input. *)
-let train_profile (w : Workload.t) : Alias_profile.t =
-  Srp_obs.Stats.time ~pass:"profile" "train_interp" @@ fun () ->
-  let prog = Srp_frontend.Lower.compile_source w.Workload.source in
-  Workload.apply_input prog w.Workload.train;
-  let interp = Srp_profile.Interp.create prog in
-  ignore (Srp_profile.Interp.run interp);
-  Srp_profile.Interp.profile interp
+let all_levels = [ O0; Conservative; Baseline; Alat; Alat_heuristic ]
+
+let level_of_string s =
+  List.find_opt (fun l -> level_name l = s) all_levels
 
 (* --- ablations (ROADMAP "ablation wiring") ---
 
@@ -89,28 +94,143 @@ type compiled = {
   promote : Srp_core.Promote.result option;
 }
 
+(* --- the staged pipeline --- *)
+
+(* Each stage helper returns (key, artifact-payload).  [cache] is an
+   optional Stage.store: with one, artifacts are shared and reused across
+   builds; without one, stages still run in the staged order (single
+   lower, explicit clones) but nothing is retained. *)
+
+let lower_stage cache (source : string) : string * Program.t =
+  let key = Stage.Key.lower ~source in
+  ( key,
+    Stage.as_lowered
+      (Stage.get cache ~key ~build:(fun () ->
+           Stage.Lowered (Srp_frontend.Lower.compile_source source))) )
+
+(* Input application works on a clone: the lowered artifact is shared by
+   every build of this source, so baking an input set into it in place
+   would corrupt every other consumer (see the regression tests). *)
+let apply_stage cache ~(lower_key : string) (lowered : Program.t)
+    (input : Workload.input) : string * Program.t =
+  let key = Stage.Key.apply ~lower_key input in
+  ( key,
+    Stage.as_applied
+      (Stage.get cache ~key ~build:(fun () ->
+           let prog = Program.clone lowered in
+           Workload.apply_input prog input;
+           Stage.Applied prog)) )
+
+let profile_stage cache ~(applied_key : string) (applied : Program.t) :
+    string * Alias_profile.t =
+  let key = Stage.Key.profile ~applied_key in
+  ( key,
+    Stage.as_profiled
+      (Stage.get cache ~key ~build:(fun () ->
+           Srp_obs.Stats.time ~pass:"profile" "train_interp" @@ fun () ->
+           let interp = Srp_profile.Interp.create applied in
+           ignore (Srp_profile.Interp.run interp);
+           Stage.Profiled (Srp_profile.Interp.profile interp))) )
+
+(* Promotion mutates the program, so it too clones its (shared) input
+   artifact.  At O0 there is no promotion: the applied artifact flows
+   through unpromoted, under a key that still separates it from promoted
+   siblings. *)
+let promote_stage cache ~(applied_key : string) (applied : Program.t)
+    (config : Srp_core.Config.t option) :
+    string * Program.t * Srp_core.Promote.result option =
+  let config_fp =
+    match config with
+    | None -> "none"
+    | Some c -> Stage.Key.config_fingerprint c
+  in
+  let key = Stage.Key.promote ~applied_key ~config:config_fp in
+  let art =
+    Stage.get cache ~key ~build:(fun () ->
+        match config with
+        | None -> Stage.Applied applied
+        | Some config ->
+          let ir = Program.clone applied in
+          let result = Srp_core.Promote.run ~config ir in
+          Stage.Promoted (ir, Some result))
+  in
+  let ir, result = Stage.as_promoted art in
+  (key, ir, result)
+
+let select_stage cache ~(promote_key : string) (ir : Program.t) :
+    string * Srp_target.Codegen.selected list =
+  let key = Stage.Key.select ~promote_key in
+  ( key,
+    Stage.as_selected
+      (Stage.get cache ~key ~build:(fun () ->
+           Stage.Selected (Srp_target.Codegen.select_program ir))) )
+
+let regalloc_stage cache ~(select_key : string) ~(split : bool)
+    (sel : Srp_target.Codegen.selected list) :
+    string * Srp_target.Codegen.allocated list =
+  let key = Stage.Key.regalloc ~select_key ~split in
+  let ra =
+    if split then Srp_target.Regalloc.default_policy
+    else Srp_target.Regalloc.closed_policy
+  in
+  ( key,
+    Stage.as_allocated
+      (Stage.get cache ~key ~build:(fun () ->
+           Stage.Allocated (Srp_target.Codegen.alloc_program ~ra sel))) )
+
+let layout_stage cache ~(regalloc_key : string) ~(layout : bool)
+    (al : Srp_target.Codegen.allocated list) :
+    string * Srp_target.Codegen.allocated list =
+  let key = Stage.Key.layout ~regalloc_key ~layout in
+  ( key,
+    Stage.as_allocated
+      (Stage.get cache ~key ~build:(fun () ->
+           Stage.Allocated
+             (if layout then Srp_target.Codegen.layout_program al else al))) )
+
+let bundle_stage cache ~(layout_key : string) ~(bundle : bool)
+    (al : Srp_target.Codegen.allocated list) :
+    string * Srp_target.Insn.func list =
+  let key = Stage.Key.bundle ~layout_key ~bundle in
+  ( key,
+    Stage.as_bundled
+      (Stage.get cache ~key ~build:(fun () ->
+           Stage.Bundled (Srp_target.Codegen.bundle_program ~bundle al))) )
+
+(* Collect an alias profile by interpreting the program on the train
+   input, via the lower / apply-input / profile stages — the train run
+   reuses the same lower artifact as the ref build. *)
+let train_profile ?cache (w : Workload.t) : Alias_profile.t =
+  let lower_key, lowered = lower_stage cache w.Workload.source in
+  let applied_key, applied =
+    apply_stage cache ~lower_key lowered w.Workload.train
+  in
+  snd (profile_stage cache ~applied_key applied)
+
 (* Compile [w] at [level]; the ref input is applied to the globals before
    code generation (static data), the profile comes from the train run.
    [ablations] are config overrides on top of the level (no effect at O0,
    which runs no promotion at all).  [split:false] selects the
    closed-interval allocator (the --no-split ablation). *)
-let compile ?profile ?(ablations = []) ?(layout = true) ?(bundle = true)
-    ?(split = true) ~(input : Workload.input) (w : Workload.t) (level : level)
-    : compiled =
-  let ir = Srp_frontend.Lower.compile_source w.Workload.source in
-  Workload.apply_input ir input;
-  let promote =
+let compile ?cache ?profile ?(ablations = []) ?(layout = true)
+    ?(bundle = true) ?(split = true) ~(input : Workload.input)
+    (w : Workload.t) (level : level) : compiled =
+  let lower_key, lowered = lower_stage cache w.Workload.source in
+  let applied_key, applied = apply_stage cache ~lower_key lowered input in
+  let config =
     match config_of_level level profile with
     | None -> None
     | Some config ->
-      let config = List.fold_left (Fun.flip apply_ablation) config ablations in
-      Some (Srp_core.Promote.run ~config ir)
+      Some (List.fold_left (Fun.flip apply_ablation) config ablations)
   in
-  let ra =
-    if split then Srp_target.Regalloc.default_policy
-    else Srp_target.Regalloc.closed_policy
+  let promote_key, ir, promote =
+    promote_stage cache ~applied_key applied config
   in
-  let target = Srp_target.Codegen.gen_program ~layout ~bundle ~ra ir in
+  let select_key, sel = select_stage cache ~promote_key ir in
+  let regalloc_key, al = regalloc_stage cache ~select_key ~split sel in
+  let layout_key, al = layout_stage cache ~regalloc_key ~layout al in
+  let _bundle_key, fns = bundle_stage cache ~layout_key ~bundle al in
+  let target = Srp_target.Codegen.assemble_program ir fns in
   { level; ablations; split; ir; target; promote }
 
 type run_result = {
@@ -130,16 +250,69 @@ let run ?fuel ?trace (c : compiled) : run_result =
     site_stats = Srp_machine.Machine.site_stats m }
 
 (* The standard experiment: profile on train, compile at [level], run on
-   ref. *)
-let profile_compile_run ?fuel ?trace ?ablations ?layout ?bundle ?split
-    (w : Workload.t) (level : level) : run_result =
+   ref.  Without an explicit [cache] an ephemeral store scoped to this
+   run still shares the lower artifact between the train-profile and ref
+   builds, so parse/lower fires once per distinct source (the seed path
+   lowered the same source twice per alat run). *)
+let profile_compile_run ?fuel ?trace ?cache ?ablations ?layout ?bundle
+    ?split (w : Workload.t) (level : level) : run_result =
+  let cache =
+    match cache with Some c -> c | None -> Stage.create ~capacity:16 ()
+  in
   let profile =
     match level with
-    | Alat -> Some (train_profile w)
+    | Alat -> Some (train_profile ~cache w)
     | O0 | Conservative | Baseline | Alat_heuristic -> None
   in
   let c =
-    compile ?profile ?ablations ?layout ?bundle ?split ~input:w.Workload.ref_
-      w level
+    compile ~cache ?profile ?ablations ?layout ?bundle ?split
+      ~input:w.Workload.ref_ w level
+  in
+  run ?fuel ?trace c
+
+(* --- the seed monolithic path ---
+
+   Kept verbatim as the reference implementation: the staged/cached path
+   must stay bit-identical to it — output, exit code and every machine
+   counter — which the differential tests and the `srp run --no-cache`
+   ablation enforce. *)
+
+let train_profile_monolithic (w : Workload.t) : Alias_profile.t =
+  Srp_obs.Stats.time ~pass:"profile" "train_interp" @@ fun () ->
+  let prog = Srp_frontend.Lower.compile_source w.Workload.source in
+  Workload.apply_input prog w.Workload.train;
+  let interp = Srp_profile.Interp.create prog in
+  ignore (Srp_profile.Interp.run interp);
+  Srp_profile.Interp.profile interp
+
+let compile_monolithic ?profile ?(ablations = []) ?(layout = true)
+    ?(bundle = true) ?(split = true) ~(input : Workload.input)
+    (w : Workload.t) (level : level) : compiled =
+  let ir = Srp_frontend.Lower.compile_source w.Workload.source in
+  Workload.apply_input ir input;
+  let promote =
+    match config_of_level level profile with
+    | None -> None
+    | Some config ->
+      let config = List.fold_left (Fun.flip apply_ablation) config ablations in
+      Some (Srp_core.Promote.run ~config ir)
+  in
+  let ra =
+    if split then Srp_target.Regalloc.default_policy
+    else Srp_target.Regalloc.closed_policy
+  in
+  let target = Srp_target.Codegen.gen_program ~layout ~bundle ~ra ir in
+  { level; ablations; split; ir; target; promote }
+
+let profile_compile_run_monolithic ?fuel ?trace ?ablations ?layout ?bundle
+    ?split (w : Workload.t) (level : level) : run_result =
+  let profile =
+    match level with
+    | Alat -> Some (train_profile_monolithic w)
+    | O0 | Conservative | Baseline | Alat_heuristic -> None
+  in
+  let c =
+    compile_monolithic ?profile ?ablations ?layout ?bundle ?split
+      ~input:w.Workload.ref_ w level
   in
   run ?fuel ?trace c

@@ -1,4 +1,14 @@
-(** Compilation pipelines — the experiment matrix of the paper. *)
+(** Compilation pipelines — the experiment matrix of the paper.
+
+    A compile is a chain of named stages (lower, apply-input, profile,
+    promote, select, regalloc, layout, bundle), each producing an
+    immutable artifact under a content-addressed key ({!Stage.Key}).
+    Passing [?cache] (a {!Stage.store}) shares artifacts across builds —
+    a bench sweep lowers each source once; [srp serve] shares the train
+    profile across a whole batch.  The seed's monolithic path survives as
+    the [*_monolithic] reference implementations: the staged path is held
+    bit-identical to them (output, exit code, every machine counter) by
+    the differential tests and by [srp run --no-cache]. *)
 
 open Srp_ir
 
@@ -15,10 +25,14 @@ type level =
   | Alat_heuristic  (** ALAT speculation from static heuristics only *)
 
 val level_name : level -> string
+val all_levels : level list
+val level_of_string : string -> level option
 
 (** Collect an alias profile by interpreting the workload on its train
-    input. *)
-val train_profile : Workload.t -> Srp_profile.Alias_profile.t
+    input.  With [?cache], the lowered program and the profile itself are
+    shared artifacts (a later [compile] of the same workload reuses the
+    lower stage; a later [train_profile] is a cache hit). *)
+val train_profile : ?cache:Stage.store -> Workload.t -> Srp_profile.Alias_profile.t
 
 val config_of_level :
   level -> Srp_profile.Alias_profile.t option -> Srp_core.Config.t option
@@ -57,8 +71,11 @@ type compiled = {
     (default on) packs the laid-out code into IA-64 3-slot bundles so the
     machine fetches bundle-wise; off = flat instruction stream.  [split]
     (default on) selects the hole-aware live-range allocator; off falls
-    back to one closed interval per vreg. *)
+    back to one closed interval per vreg.  [cache] shares stage artifacts
+    with other builds; without it the stages still run (one lower, clones
+    before mutation) but retain nothing. *)
 val compile :
+  ?cache:Stage.store ->
   ?profile:Srp_profile.Alias_profile.t ->
   ?ablations:ablation list ->
   ?layout:bool ->
@@ -81,8 +98,41 @@ type run_result = {
 val run : ?fuel:int -> ?trace:Srp_obs.Trace.sink -> compiled -> run_result
 
 (** The standard experiment protocol: profile on train (for [Alat]),
-    compile at [level], execute on ref. *)
+    compile at [level], execute on ref.  Without an explicit [cache] an
+    ephemeral store still shares the lower artifact between the train
+    profile and the ref build, so parse/lower runs once per source. *)
 val profile_compile_run :
+  ?fuel:int ->
+  ?trace:Srp_obs.Trace.sink ->
+  ?cache:Stage.store ->
+  ?ablations:ablation list ->
+  ?layout:bool ->
+  ?bundle:bool ->
+  ?split:bool ->
+  Workload.t ->
+  level ->
+  run_result
+
+(** {1 The seed monolithic path}
+
+    The original single-function pipeline, kept verbatim as the reference
+    the staged path is differentially tested against, and as the
+    [srp run --no-cache] implementation. *)
+
+val train_profile_monolithic : Workload.t -> Srp_profile.Alias_profile.t
+
+val compile_monolithic :
+  ?profile:Srp_profile.Alias_profile.t ->
+  ?ablations:ablation list ->
+  ?layout:bool ->
+  ?bundle:bool ->
+  ?split:bool ->
+  input:Workload.input ->
+  Workload.t ->
+  level ->
+  compiled
+
+val profile_compile_run_monolithic :
   ?fuel:int ->
   ?trace:Srp_obs.Trace.sink ->
   ?ablations:ablation list ->

@@ -1,0 +1,256 @@
+(* `srp serve` — the batch compile-and-simulate daemon (ROADMAP
+   "production-scale" item).
+
+   Protocol (schema srp-serve-v1): JSON-lines on stdin, one job per line,
+   batch ends at EOF.  A job names a built-in workload or carries inline
+   MiniC source, plus a level, ablations, backend flags and a fuel bound
+   (the machine config):
+
+     {"id": 1, "workload": "gzip", "level": "alat"}
+     {"id": 2, "source": "int main() { return 0; }", "level": "O0",
+      "ablations": [], "layout": true, "bundle": true, "split": true,
+      "fuel": 1000000}
+
+   The daemon dedupes jobs by content key, fans the unique jobs out on
+   the Experiments domain pool over one shared stage store (so every
+   build of a workload shares its lower artifact and train profile), and
+   answers one JSON line per job in input order, followed by a summary
+   line with compiles/sec and the cache hit rate.  Each response carries
+   the pass statistics of its own job (Stats.with_scope) — the global
+   registry would conflate concurrent jobs. *)
+
+module Json = Srp_obs.Json
+module Stats = Srp_obs.Stats
+
+type job = {
+  j_id : Json.t;  (* echoed back verbatim; line number if absent *)
+  j_w : Workload.t;
+  j_level : Pipeline.level;
+  j_ablations : Pipeline.ablation list;
+  j_layout : bool;
+  j_bundle : bool;
+  j_split : bool;
+  j_fuel : int option;
+}
+
+(* The job's content key: everything that determines its result.  Two
+   jobs with equal keys are the same compile-and-run, whatever their ids
+   say — the second is answered from the first's result. *)
+let job_key (j : job) : string =
+  Stage.Key.digest
+    ([ "serve-job"; "v1"; j.j_w.Workload.source;
+       Marshal.to_string j.j_w.Workload.train [];
+       Marshal.to_string j.j_w.Workload.ref_ [];
+       Pipeline.level_name j.j_level ]
+    @ List.map Pipeline.ablation_name j.j_ablations
+    @ [ string_of_bool j.j_layout; string_of_bool j.j_bundle;
+        string_of_bool j.j_split;
+        (match j.j_fuel with None -> "" | Some f -> string_of_int f) ])
+
+let ( let* ) = Result.bind
+
+let bool_field ~default name js =
+  match Json.member name js with
+  | None -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Fmt.str "field %S must be a boolean" name)
+
+let parse_job ~(lookup : string -> Workload.t option) ~(line_no : int)
+    (js : Json.t) : Json.t * (job, string) result =
+  let id =
+    match Json.member "id" js with Some v -> v | None -> Json.Int line_no
+  in
+  let job =
+    let* w =
+      match (Json.member "workload" js, Json.member "source" js) with
+      | Some v, None -> (
+        match Option.bind (Some v) Json.to_string_opt with
+        | None -> Error "field \"workload\" must be a string"
+        | Some name -> (
+          match lookup name with
+          | Some w -> Ok w
+          | None -> Error (Fmt.str "unknown workload %S" name)))
+      | None, Some v -> (
+        match Json.to_string_opt v with
+        | None -> Error "field \"source\" must be a string"
+        | Some source ->
+          Ok { Workload.name = "<inline>"; description = "inline source";
+               source; train = []; ref_ = [] })
+      | Some _, Some _ -> Error "give either \"workload\" or \"source\", not both"
+      | None, None -> Error "job needs a \"workload\" name or inline \"source\""
+    in
+    let* level =
+      match Json.member "level" js with
+      | None -> Ok Pipeline.Alat
+      | Some v -> (
+        match Option.bind (Json.to_string_opt v) Pipeline.level_of_string with
+        | Some l -> Ok l
+        | None -> Error "field \"level\" must name an optimization level")
+    in
+    let* ablations =
+      match Json.member "ablations" js with
+      | None -> Ok []
+      | Some v -> (
+        match Json.to_list_opt v with
+        | None -> Error "field \"ablations\" must be an array of names"
+        | Some items ->
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              match
+                Option.bind (Json.to_string_opt item) Pipeline.ablation_of_string
+              with
+              | Some a -> Ok (acc @ [ a ])
+              | None -> Error "unknown ablation name")
+            (Ok []) items)
+    in
+    let* layout = bool_field ~default:true "layout" js in
+    let* bundle = bool_field ~default:true "bundle" js in
+    let* split = bool_field ~default:true "split" js in
+    let* fuel =
+      match Json.member "fuel" js with
+      | None -> Ok None
+      | Some v -> (
+        match Json.to_int_opt v with
+        | Some f when f > 0 -> Ok (Some f)
+        | _ -> Error "field \"fuel\" must be a positive integer")
+    in
+    Ok { j_id = id; j_w = w; j_level = level; j_ablations = ablations;
+         j_layout = layout; j_bundle = bundle; j_split = split; j_fuel = fuel }
+  in
+  (id, job)
+
+(* One executed job: the run result plus the pass statistics scoped to
+   this job alone. *)
+type outcome = (Pipeline.run_result * Stats.Scope.t, exn) result
+
+let run_job ~cache (j : job) : Pipeline.run_result * Stats.Scope.t =
+  Stats.with_scope (fun () ->
+      Pipeline.profile_compile_run ?fuel:j.j_fuel ~cache
+        ~ablations:j.j_ablations ~layout:j.j_layout ~bundle:j.j_bundle
+        ~split:j.j_split j.j_w j.j_level)
+
+let result_json (j : job) ~key ~deduped (r : Pipeline.run_result)
+    (scope : Stats.Scope.t) : Json.t =
+  Json.Obj
+    [ ("type", Json.String "result");
+      ("schema", Json.String "srp-serve-v1");
+      ("id", j.j_id);
+      ("workload", Json.String j.j_w.Workload.name);
+      ("level", Json.String (Pipeline.level_name j.j_level));
+      ("key", Json.String key);
+      ("deduped", Json.Bool deduped);
+      ("exit_code", Json.Int (Int64.to_int r.Pipeline.exit_code));
+      ("output", Json.String r.Pipeline.output);
+      ("counters", Srp_machine.Counters.to_json r.Pipeline.counters);
+      ("pass_stats", Stats.Scope.to_json scope) ]
+
+let error_json (id : Json.t) (msg : string) : Json.t =
+  Json.Obj
+    [ ("type", Json.String "error");
+      ("schema", Json.String "srp-serve-v1");
+      ("id", id);
+      ("error", Json.String msg) ]
+
+let summary_json ~jobs ~unique ~errors ~deduped ~wall_secs
+    ~(cache_stats : Stage.cache_stats) : Json.t =
+  let compiles_per_sec =
+    if wall_secs > 0.0 then float_of_int unique /. wall_secs else 0.0
+  in
+  Json.Obj
+    [ ("type", Json.String "summary");
+      ("schema", Json.String "srp-serve-v1");
+      ("jobs", Json.Int jobs);
+      ("unique", Json.Int unique);
+      ("deduped", Json.Int deduped);
+      ("errors", Json.Int errors);
+      ("wall_secs", Json.Float wall_secs);
+      ("compiles_per_sec", Json.Float compiles_per_sec);
+      ("cache",
+       Json.Obj
+         [ ("hits", Json.Int cache_stats.Stage.hits);
+           ("misses", Json.Int cache_stats.Stage.misses);
+           ("evictions", Json.Int cache_stats.Stage.evictions);
+           ("hit_rate", Json.Float (Stage.hit_rate cache_stats)) ]) ]
+
+(* Read the whole batch, answer every line in order, emit the summary.
+   [now] supplies wall-clock time (Unix.gettimeofday from bin/ — this
+   library stays Unix-free).  Returns the number of failed jobs. *)
+let serve ~(lookup : string -> Workload.t option) ~(now : unit -> float)
+    ?(capacity = 512) (ic : in_channel) (oc : out_channel) : int =
+  let lines = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then lines := line :: !lines
+     done
+   with End_of_file -> ());
+  let lines = List.rev !lines in
+  (* parse every line first: a batch with a malformed line still runs the
+     rest *)
+  let parsed =
+    List.mapi
+      (fun i line ->
+        match Json.of_string line with
+        | Error e -> (Json.Int (i + 1), Error (Fmt.str "parse error: %s" e))
+        | Ok js -> parse_job ~lookup ~line_no:(i + 1) js)
+      lines
+  in
+  (* dedupe by content key: first occurrence executes, the rest share *)
+  let by_key : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let uniq : job list ref = ref [] in
+  let nuniq = ref 0 in
+  let routed =
+    List.map
+      (fun (id, parse) ->
+        match parse with
+        | Error e -> (id, Error e)
+        | Ok j ->
+          let key = job_key j in
+          (match Hashtbl.find_opt by_key key with
+          | Some slot -> (id, Ok (j, key, slot, true))
+          | None ->
+            let slot = !nuniq in
+            Hashtbl.replace by_key key slot;
+            incr nuniq;
+            uniq := j :: !uniq;
+            (id, Ok (j, key, slot, false))))
+      parsed
+  in
+  let uniq = Array.of_list (List.rev !uniq) in
+  let cache = Stage.create ~capacity () in
+  let t0 = now () in
+  let outcomes : outcome array =
+    Experiments.pool_map ~ntasks:(Array.length uniq) (fun i ->
+        run_job ~cache uniq.(i))
+  in
+  let wall_secs = now () -. t0 in
+  let failed = ref 0 in
+  let ndeduped = ref 0 in
+  List.iter
+    (fun (id, routed) ->
+      let doc =
+        match routed with
+        | Error e ->
+          incr failed;
+          error_json id e
+        | Ok (j, key, slot, deduped) -> (
+          if deduped then incr ndeduped;
+          match outcomes.(slot) with
+          | Ok (r, scope) -> result_json j ~key ~deduped r scope
+          | Error e ->
+            incr failed;
+            error_json id (Printexc.to_string e))
+      in
+      output_string oc (Json.to_string doc);
+      output_char oc '\n')
+    routed;
+  let summary =
+    summary_json ~jobs:(List.length routed) ~unique:(Array.length uniq)
+      ~errors:!failed ~deduped:!ndeduped ~wall_secs
+      ~cache_stats:(Stage.stats cache)
+  in
+  output_string oc (Json.to_string summary);
+  output_char oc '\n';
+  flush oc;
+  !failed

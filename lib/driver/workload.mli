@@ -16,5 +16,11 @@ type t = {
   ref_ : input;  (** measurement input (the paper's SPEC ref set) *)
 }
 
-(** Overwrite the named globals' initializers in place. *)
+(** Overwrite the named globals' initializers in place.
+
+    This mutates [prog] — callers holding a shared artifact (a cached
+    lower-stage result) must apply inputs to a {!Program.clone}, never to
+    the artifact itself, or every other consumer of that artifact sees
+    the wrong input baked in.  The staged pipeline does this in its
+    apply-input stage; see the independence regression test. *)
 val apply_input : Program.t -> input -> unit

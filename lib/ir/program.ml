@@ -21,6 +21,16 @@ let create () =
 let add_global t s init = t.globals := (s, init) :: !(t.globals)
 let globals t = List.rev !(t.globals)
 
+(* Deep copy, for the staged pipeline's shared artifacts: a cached lowered
+   program is immutable by contract, so consumers that mutate (input
+   application, promotion) work on a clone.  The IR is pure data — no
+   closures, no custom blocks — so a Marshal round trip is a faithful copy;
+   internal sharing (symbols referenced from both the globals list and
+   instruction operands) is preserved within the copy, and identity is by
+   id everywhere, so the clone behaves exactly like a fresh lowering of the
+   same source. *)
+let clone (t : t) : t = Marshal.from_string (Marshal.to_string t []) 0
+
 (* Replace a global's initializer (workload input injection). *)
 let set_global_init t name init =
   t.globals :=

@@ -37,6 +37,87 @@ let reg = { tbl = Hashtbl.create 64; order = [] }
 let lock = Mutex.create ()
 let locked f = Mutex.protect lock f
 
+(* --- per-job scopes ---
+
+   The process-global registry conflates concurrent daemon jobs: `srp
+   serve` compiles from a pool of domains, and a response must report the
+   pass statistics of *its* job only.  A scope is a domain-local shadow
+   registry: while active, every bump lands in both the global table and
+   the scope, so existing instrumentation sites need no changes.  Scopes
+   are per-domain (Domain.DLS), and each worker domain runs one job at a
+   time, so two concurrent jobs never bleed counters into each other.
+   Work a job *waits on* rather than executes (a cache hit on another
+   domain's in-flight stage build) is charged to the builder's scope, not
+   the waiter's — scope stats mean "work this job performed". *)
+
+module Scope = struct
+  type sentry = {
+    s_pass : string;
+    s_name : string;
+    s_kind : kind;
+    mutable s_count : int;
+    mutable s_secs : float;
+  }
+
+  type t = { stbl : (string * string, sentry) Hashtbl.t }
+
+  let create () = { stbl = Hashtbl.create 16 }
+
+  let entry scope ~pass ~name kind =
+    match Hashtbl.find_opt scope.stbl (pass, name) with
+    | Some e -> e
+    | None ->
+      let e = { s_pass = pass; s_name = name; s_kind = kind; s_count = 0; s_secs = 0.0 } in
+      Hashtbl.replace scope.stbl (pass, name) e;
+      e
+
+  (* (pass, name, count, seconds), sorted by (pass, name) like the global
+     report. *)
+  let entries scope =
+    Hashtbl.fold (fun _ e acc -> e :: acc) scope.stbl []
+    |> List.sort (fun a b -> compare (a.s_pass, a.s_name) (b.s_pass, b.s_name))
+    |> List.map (fun e -> (e.s_pass, e.s_name, e.s_count, e.s_secs))
+
+  let value scope ~pass name =
+    match Hashtbl.find_opt scope.stbl (pass, name) with
+    | Some e -> e.s_count
+    | None -> 0
+
+  let to_json scope : Json.t =
+    Json.Arr
+      (List.map
+         (fun (pass, name, count, secs) ->
+           Json.Obj
+             ([ ("pass", Json.String pass); ("name", Json.String name) ]
+             @
+             if secs = 0.0 then [ ("value", Json.Int count) ]
+             else [ ("seconds", Json.Float secs); ("calls", Json.Int count) ]))
+         (entries scope))
+end
+
+(* The active scope of the calling domain, if any.  Only touched by its
+   own domain, so no locking beyond the global mutex already held at the
+   bump sites. *)
+let scope_key : Scope.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_scope () = !(Domain.DLS.get scope_key)
+
+let with_scope (f : unit -> 'a) : 'a * Scope.t =
+  let slot = Domain.DLS.get scope_key in
+  let saved = !slot in
+  let scope = Scope.create () in
+  slot := Some scope;
+  let v =
+    Fun.protect ~finally:(fun () -> slot := saved) f
+  in
+  (v, scope)
+
+let scoped ~pass ~name kind (bump : Scope.sentry -> unit) =
+  match current_scope () with
+  | None -> ()
+  | Some scope -> bump (Scope.entry scope ~pass ~name kind)
+
 let reset () =
   locked @@ fun () ->
   Hashtbl.reset reg.tbl;
@@ -55,13 +136,26 @@ let find_or_add ~pass ~name ~desc kind =
 let counter ?(desc = "") ~pass name : counter =
   find_or_add ~pass ~name ~desc Counter
 
-let add (c : counter) n = locked @@ fun () -> c.count <- c.count + n
+let add (c : counter) n =
+  locked (fun () -> c.count <- c.count + n);
+  scoped ~pass:c.pass ~name:c.name c.kind (fun e ->
+      e.Scope.s_count <- e.Scope.s_count + n)
+
 let incr c = add c 1
 
 let set_max (c : counter) n =
-  locked @@ fun () -> if n > c.count then c.count <- n
+  locked (fun () -> if n > c.count then c.count <- n);
+  scoped ~pass:c.pass ~name:c.name c.kind (fun e ->
+      if n > e.Scope.s_count then e.Scope.s_count <- n)
 
 let value (c : counter) = locked @@ fun () -> c.count
+
+(* Read a statistic without creating it: (count-or-calls, seconds). *)
+let find ~pass name =
+  locked @@ fun () ->
+  match Hashtbl.find_opt reg.tbl (pass, name) with
+  | Some e -> Some (e.count, e.secs)
+  | None -> None
 
 (* Accumulate CPU time (Sys.time: no Unix dependency; the numbers are for
    relative phase comparison, not wall-clock benchmarking — Bechamel in
@@ -71,9 +165,13 @@ let time ~pass name f =
   let t0 = Sys.time () in
   Fun.protect
     ~finally:(fun () ->
+      let dt = Sys.time () -. t0 in
       locked (fun () ->
-          e.secs <- e.secs +. (Sys.time () -. t0);
-          e.count <- e.count + 1))
+          e.secs <- e.secs +. dt;
+          e.count <- e.count + 1);
+      scoped ~pass ~name Timer (fun s ->
+          s.Scope.s_secs <- s.Scope.s_secs +. dt;
+          s.Scope.s_count <- s.Scope.s_count + 1))
     f
 
 (* Sorted, not insertion-ordered: with domains racing to register

@@ -21,6 +21,10 @@ val set_max : counter -> int -> unit
 
 val value : counter -> int
 
+(** Read the statistic [(pass, name)] without creating it:
+    [(count_or_calls, seconds)]. *)
+val find : pass:string -> string -> (int * float) option
+
 (** [time ~pass name f] runs [f ()], accumulating its CPU time
     (Sys.time) and call count under the timer [(pass, name)].
     Exception-safe. *)
@@ -34,3 +38,33 @@ val to_json : unit -> Json.t
 
 (** Drop all statistics. *)
 val reset : unit -> unit
+
+(** {1 Per-job scopes}
+
+    The registry is process-global, which conflates concurrent daemon
+    jobs: an [srp serve] response must carry the pass statistics of its
+    own job only.  {!with_scope} installs a domain-local shadow registry
+    for the extent of [f]: every counter bump and timer tick inside [f]
+    (on this domain) lands in both the global table and the returned
+    scope.  Scopes are per-domain, so jobs running on different worker
+    domains never bleed into each other's scopes; work a job waits on
+    (another domain's in-flight stage build) is charged to the builder,
+    not the waiter.  Nested scopes shadow the outer one for their
+    extent. *)
+
+module Scope : sig
+  type t
+
+  (** [(pass, name, count_or_calls, seconds)], sorted by (pass, name);
+      [seconds] is 0 for plain counters. *)
+  val entries : t -> (string * string * int * float) list
+
+  (** Counter value / timer call count in this scope; 0 if absent. *)
+  val value : t -> pass:string -> string -> int
+
+  val to_json : t -> Json.t
+end
+
+(** Run [f] with a fresh scope active on the calling domain; returns
+    [f ()]'s result and the scope. *)
+val with_scope : (unit -> 'a) -> 'a * Scope.t

@@ -418,12 +418,49 @@ let rec flush_recovery ctx =
     emit_patched ctx.b (Insn.Br { target = back_lbl });
     flush_recovery ctx
 
-(* --- function-level driver --- *)
+(* --- function-level driver, split into phases ---
+
+   Selection, register allocation, block layout and bundling are separate
+   functions over explicit intermediate records so the staged pipeline
+   (lib/driver) can cache each phase's output under its own
+   content-addressed key.  [gen_func] composes the phases exactly as the
+   old fused driver did; none of the phase functions mutates its input
+   record or the arrays it carries, so cached intermediates can feed any
+   number of downstream builds. *)
 
 let round8 n = (n + 7) / 8 * 8
 
-let gen_func ?(layout = true) ?(bundle = true)
-    ?(ra = Regalloc.default_policy) (f : Func.t) : Insn.func =
+(* Instruction selection: everything up to (and excluding) register
+   allocation — virtual registers, resolved branch targets, recovery
+   blocks flushed after the body. *)
+type selected = {
+  sel_name : string;
+  sel_formals : (Symbol.t * Insn.dest) list; (* dests are virtual *)
+  sel_code : Insn.insn array;
+  sel_body_len : int; (* recovery blocks start at this index *)
+  sel_nivregs : int;
+  sel_nfvregs : int;
+  sel_live_in : int list;
+  sel_flive_in : int list;
+  sel_pinned : int list;
+  sel_fpinned : int list;
+  sel_frame_bytes : int; (* symbol slots only; spill slots extend it *)
+  sel_slot_of_sym : (int, int) Hashtbl.t;
+}
+
+(* Post-regalloc: physical registers, spill code inserted, frame final. *)
+type allocated = {
+  al_name : string;
+  al_formals : (Symbol.t * Insn.dest) list; (* dests are physical *)
+  al_code : Insn.insn array;
+  al_body_len : int;
+  al_nregs : int;
+  al_nfregs : int;
+  al_frame_bytes : int;
+  al_slot_of_sym : (int, int) Hashtbl.t;
+}
+
+let select_func (f : Func.t) : selected =
   let b =
     { rev = []; len = 0; lbl_pos = Hashtbl.create 16; patches = [];
       next_lbl = -1 }
@@ -506,7 +543,7 @@ let gen_func ?(layout = true) ?(bundle = true)
   let body_len = b.len in
   flush_recovery ctx;
   let code = resolve b in
-  (* register allocation; ALAT temps get private physical registers *)
+  (* ALAT temps get private physical registers downstream *)
   let pinned_i, pinned_f =
     List.fold_left
       (fun (pi, pf) t ->
@@ -523,23 +560,38 @@ let gen_func ?(layout = true) ?(bundle = true)
         | Insn.DFlt fr -> (li, fr :: fli))
       ([], []) formals
   in
-  let ra =
+  { sel_name = Func.name f;
+    sel_formals = formals;
+    sel_code = code;
+    sel_body_len = body_len;
+    sel_nivregs = ctx.next_ireg;
+    sel_nfvregs = ctx.next_freg;
+    sel_live_in = live_in;
+    sel_flive_in = flive_in;
+    sel_pinned = pinned_i;
+    sel_fpinned = pinned_f;
+    sel_frame_bytes = frame_bytes;
+    sel_slot_of_sym = ctx.slot_of_sym }
+
+let alloc_func ?(ra = Regalloc.default_policy) (s : selected) : allocated =
+  let res =
     Srp_obs.Stats.time ~pass:"target" "regalloc" (fun () ->
         Regalloc.run ~policy:ra
-          { Regalloc.code; nivregs = ctx.next_ireg; nfvregs = ctx.next_freg;
-            live_in; flive_in; pinned = pinned_i; fpinned = pinned_f;
-            spill_base = frame_bytes })
+          { Regalloc.code = s.sel_code; nivregs = s.sel_nivregs;
+            nfvregs = s.sel_nfvregs; live_in = s.sel_live_in;
+            flive_in = s.sel_flive_in; pinned = s.sel_pinned;
+            fpinned = s.sel_fpinned; spill_base = s.sel_frame_bytes })
   in
   (* spill slots live past the symbol slots; splitting may grow the frame,
      slot coloring keeps the growth to the peak overlap *)
-  let frame_bytes = frame_bytes + ra.Regalloc.spill_bytes in
+  let frame_bytes = s.sel_frame_bytes + res.Regalloc.spill_bytes in
   (* spill reloads/stores shift instruction indices: recovery code now
      starts where the old boundary landed *)
-  let body_len = ra.Regalloc.new_index.(body_len) in
+  let body_len = res.Regalloc.new_index.(s.sel_body_len) in
   Srp_obs.Stats.set_max
     (Srp_obs.Stats.counter ~pass:"target" "max_int_regs")
-    ra.Regalloc.nregs;
-  let rst = ra.Regalloc.stats in
+    res.Regalloc.nregs;
+  let rst = res.Regalloc.stats in
   List.iter
     (fun (name, v) ->
       Srp_obs.Stats.add (Srp_obs.Stats.counter ~pass:"target" name) v)
@@ -553,56 +605,70 @@ let gen_func ?(layout = true) ?(bundle = true)
       ("remat_webs", rst.Regalloc.remat_webs);
       ("remat_uses", rst.Regalloc.remat_uses) ];
   let remap_dest = function
-    | Insn.DInt r -> Insn.DInt ra.Regalloc.imap.(r)
-    | Insn.DFlt fr -> Insn.DFlt ra.Regalloc.fmap.(fr)
+    | Insn.DInt r -> Insn.DInt res.Regalloc.imap.(r)
+    | Insn.DFlt fr -> Insn.DFlt res.Regalloc.fmap.(fr)
   in
+  { al_name = s.sel_name;
+    al_formals = List.map (fun (sym, d) -> (sym, remap_dest d)) s.sel_formals;
+    al_code = res.Regalloc.code;
+    al_body_len = body_len;
+    al_nregs = res.Regalloc.nregs;
+    al_nfregs = res.Regalloc.nfregs;
+    al_frame_bytes = frame_bytes;
+    al_slot_of_sym = s.sel_slot_of_sym }
+
+let layout_func (a : allocated) : allocated =
+  let ls = { Layout.loops_rotated = 0; blocks_moved = 0 } in
   let code =
-    if not layout then ra.Regalloc.code
-    else begin
-      let ls = { Layout.loops_rotated = 0; blocks_moved = 0 } in
-      let code =
-        Srp_obs.Stats.time ~pass:"target" "layout" (fun () ->
-            Layout.run ~stats:ls ~body_len ra.Regalloc.code)
-      in
-      Srp_obs.Stats.add
-        (Srp_obs.Stats.counter ~pass:"target" "loops_rotated")
-        ls.Layout.loops_rotated;
-      Srp_obs.Stats.add
-        (Srp_obs.Stats.counter ~pass:"target" "blocks_moved")
-        ls.Layout.blocks_moved;
-      code
-    end
+    Srp_obs.Stats.time ~pass:"target" "layout" (fun () ->
+        Layout.run ~stats:ls ~body_len:a.al_body_len a.al_code)
   in
-  (* bundling last: it only pads and remaps indices, so it composes with
-     both regalloc's ALAT pinning and layout's block order *)
-  let code, bundles =
-    if not bundle then (code, None)
-    else begin
-      let bst = { Bundle.bundles = 0; nops_added = 0; stops = 0 } in
-      let code, bs =
-        Srp_obs.Stats.time ~pass:"target" "bundle" (fun () ->
-            Bundle.run ~stats:bst code)
-      in
-      Srp_obs.Stats.add
-        (Srp_obs.Stats.counter ~pass:"target" "bundles_emitted")
-        bst.Bundle.bundles;
-      Srp_obs.Stats.add
-        (Srp_obs.Stats.counter ~pass:"target" "bundle_nops")
-        bst.Bundle.nops_added;
-      Srp_obs.Stats.add
-        (Srp_obs.Stats.counter ~pass:"target" "bundle_stops")
-        bst.Bundle.stops;
-      (code, Some bs)
-    end
-  in
-  { Insn.name = Func.name f;
-    formals = List.map (fun (s, d) -> (s, remap_dest d)) formals;
-    code;
+  Srp_obs.Stats.add
+    (Srp_obs.Stats.counter ~pass:"target" "loops_rotated")
+    ls.Layout.loops_rotated;
+  Srp_obs.Stats.add
+    (Srp_obs.Stats.counter ~pass:"target" "blocks_moved")
+    ls.Layout.blocks_moved;
+  { a with al_code = code }
+
+let func_of_allocated (a : allocated) ~(bundles : Insn.bundle array option) :
+    Insn.func =
+  { Insn.name = a.al_name;
+    formals = a.al_formals;
+    code = a.al_code;
     bundles;
-    nregs = ra.Regalloc.nregs;
-    nfregs = ra.Regalloc.nfregs;
-    frame_bytes;
-    slot_of_sym = ctx.slot_of_sym }
+    nregs = a.al_nregs;
+    nfregs = a.al_nfregs;
+    frame_bytes = a.al_frame_bytes;
+    slot_of_sym = a.al_slot_of_sym }
+
+(* Bundling last: it only pads and remaps indices, so it composes with
+   both regalloc's ALAT pinning and layout's block order. *)
+let bundle_func (a : allocated) : Insn.func =
+  let bst = { Bundle.bundles = 0; nops_added = 0; stops = 0 } in
+  let code, bs =
+    Srp_obs.Stats.time ~pass:"target" "bundle" (fun () ->
+        Bundle.run ~stats:bst a.al_code)
+  in
+  Srp_obs.Stats.add
+    (Srp_obs.Stats.counter ~pass:"target" "bundles_emitted")
+    bst.Bundle.bundles;
+  Srp_obs.Stats.add
+    (Srp_obs.Stats.counter ~pass:"target" "bundle_nops")
+    bst.Bundle.nops_added;
+  Srp_obs.Stats.add
+    (Srp_obs.Stats.counter ~pass:"target" "bundle_stops")
+    bst.Bundle.stops;
+  func_of_allocated { a with al_code = code } ~bundles:(Some bs)
+
+let flat_func (a : allocated) : Insn.func = func_of_allocated a ~bundles:None
+
+let gen_func ?(layout = true) ?(bundle = true)
+    ?(ra = Regalloc.default_policy) (f : Func.t) : Insn.func =
+  let s = select_func f in
+  let a = alloc_func ~ra s in
+  let a = if layout then layout_func a else a in
+  if bundle then bundle_func a else flat_func a
 
 let gen_program ?(layout = true) ?(bundle = true)
     ?(ra = Regalloc.default_policy) (prog : Program.t) : Insn.program =
@@ -612,6 +678,33 @@ let gen_program ?(layout = true) ?(bundle = true)
         (fun f ->
           Hashtbl.replace funcs (Func.name f) (gen_func ~layout ~bundle ~ra f))
         (Program.funcs prog));
+  { Insn.funcs;
+    func_order = prog.Program.func_order;
+    globals = Program.globals prog }
+
+(* Program-level phase drivers for the staged pipeline: each maps its
+   per-function phase over a list in [func_order], so the driver can cache
+   the whole program's intermediate under one stage key. *)
+
+let select_program (prog : Program.t) : selected list =
+  Srp_obs.Stats.time ~pass:"target" "codegen" (fun () ->
+      List.map select_func (Program.funcs prog))
+
+let alloc_program ?ra (sel : selected list) : allocated list =
+  List.map (fun s -> alloc_func ?ra s) sel
+
+let layout_program (al : allocated list) : allocated list =
+  List.map layout_func al
+
+let bundle_program ~(bundle : bool) (al : allocated list) : Insn.func list =
+  List.map (if bundle then bundle_func else flat_func) al
+
+(* Final assembly is cheap (one hashtable build over shared [Insn.func]
+   values) and happens outside the cache, per compile. *)
+let assemble_program (prog : Program.t) (fns : Insn.func list) : Insn.program
+    =
+  let funcs = Hashtbl.create 16 in
+  List.iter (fun (f : Insn.func) -> Hashtbl.replace funcs f.Insn.name f) fns;
   { Insn.funcs;
     func_order = prog.Program.func_order;
     globals = Program.globals prog }

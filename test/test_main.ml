@@ -16,4 +16,6 @@ let () =
       ("machine", Test_machine.suite);
       ("random", Test_random.suite);
       ("obs", Test_obs.suite);
+      ("stage", Test_stage.suite);
+      ("serve", Test_serve.suite);
       ("e2e", Test_e2e.suite) ]

@@ -1,0 +1,203 @@
+(* The srp-serve-v1 batch protocol: response ordering, dedup, per-job
+   pass stats, error isolation, and the summary block — plus an
+   env-scaled soak that drives randomized gen_minic programs through the
+   daemon and differentially checks each response against the seed
+   monolithic pipeline (SRP_SOAK_JOBS raises the job count in CI). *)
+
+open Srp_driver
+module Json = Srp_obs.Json
+
+let lookup name =
+  List.find_opt
+    (fun w -> w.Workload.name = name)
+    (Srp_workloads.Registry.all ())
+
+(* Run a batch through the daemon and hand back the parsed response
+   lines.  Channels go through temp files: the daemon's interface is
+   in_channel/out_channel, exactly as bin/srp.ml drives it. *)
+let serve_batch ?(capacity = 512) (batch_lines : string list) :
+    Json.t list * int =
+  let in_path = Filename.temp_file "srp_serve_in" ".jsonl" in
+  let out_path = Filename.temp_file "srp_serve_out" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove in_path;
+      Sys.remove out_path)
+    (fun () ->
+      let oc = open_out in_path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) batch_lines;
+      close_out oc;
+      let ic = open_in in_path in
+      let oc = open_out out_path in
+      let failed =
+        Serve.serve ~lookup ~now:Sys.time ~capacity ic oc
+      in
+      close_in ic;
+      close_out oc;
+      let ic = open_in out_path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      ( List.rev_map
+          (fun l ->
+            match Json.of_string l with
+            | Ok js -> js
+            | Error e -> Alcotest.failf "unparseable response %S: %s" l e)
+          !lines,
+        failed ))
+
+let str_field name js =
+  match Option.bind (Json.member name js) Json.to_string_opt with
+  | Some s -> s
+  | None -> Alcotest.failf "missing string field %S" name
+
+let int_field name js =
+  match Option.bind (Json.member name js) Json.to_int_opt with
+  | Some i -> i
+  | None -> Alcotest.failf "missing int field %S" name
+
+let bool_field name js =
+  match Json.member name js with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.failf "missing bool field %S" name
+
+let test_batch () =
+  let batch =
+    [ {|{"id": "first", "source": "int main() { return 7; }", "level": "O0"}|};
+      {|{"id": "dup", "source": "int main() { return 7; }", "level": "O0"}|};
+      {|{"id": "other", "source": "int main() { return 3; }", "level": "baseline"}|};
+      {|{"id": "bad", "workload": "no-such-kernel"}|};
+      {|this is not json|}
+    ]
+  in
+  let responses, failed = serve_batch batch in
+  Alcotest.(check int) "one response per line plus summary"
+    (List.length batch + 1) (List.length responses);
+  Alcotest.(check int) "two failed jobs reported" 2 failed;
+  let r = Array.of_list responses in
+  (* responses in input order *)
+  Alcotest.(check string) "id order" "first" (str_field "id" r.(0));
+  Alcotest.(check string) "dup id" "dup" (str_field "id" r.(1));
+  Alcotest.(check string) "result type" "result" (str_field "type" r.(0));
+  Alcotest.(check int) "exit code" 7 (int_field "exit_code" r.(0));
+  Alcotest.(check bool) "first not deduped" false (bool_field "deduped" r.(0));
+  Alcotest.(check bool) "duplicate flagged" true (bool_field "deduped" r.(1));
+  Alcotest.(check string) "duplicate shares result key"
+    (str_field "key" r.(0)) (str_field "key" r.(1));
+  Alcotest.(check int) "duplicate shares exit code" 7 (int_field "exit_code" r.(1));
+  Alcotest.(check int) "other job independent" 3 (int_field "exit_code" r.(2));
+  Alcotest.(check string) "unknown workload errors" "error"
+    (str_field "type" r.(3));
+  Alcotest.(check string) "parse error errors" "error" (str_field "type" r.(4));
+  (* per-job pass stats: each executed job lowered its own source once *)
+  let parse_calls js =
+    match Json.member "pass_stats" js with
+    | Some (Json.Arr entries) ->
+      List.fold_left
+        (fun acc e ->
+          match (Json.member "pass" e, Json.member "name" e) with
+          | Some (Json.String "frontend"), Some (Json.String "parse") ->
+            acc + Option.value ~default:0 (Option.bind (Json.member "calls" e) Json.to_int_opt)
+          | _ -> acc)
+        0 entries
+    | _ -> Alcotest.fail "missing pass_stats"
+  in
+  Alcotest.(check int) "job-scoped stats: one lower" 1 (parse_calls r.(0));
+  Alcotest.(check int) "job-scoped stats: one lower (other)" 1
+    (parse_calls r.(2));
+  (* summary *)
+  let s = r.(5) in
+  Alcotest.(check string) "summary type" "summary" (str_field "type" s);
+  Alcotest.(check string) "schema" "srp-serve-v1" (str_field "schema" s);
+  Alcotest.(check int) "jobs" 5 (int_field "jobs" s);
+  Alcotest.(check int) "unique" 2 (int_field "unique" s);
+  Alcotest.(check int) "deduped" 1 (int_field "deduped" s);
+  Alcotest.(check int) "errors" 2 (int_field "errors" s);
+  match Json.member "cache" s with
+  | Some c ->
+    Alcotest.(check bool) "nonzero stage misses" true (int_field "misses" c > 0)
+  | None -> Alcotest.fail "summary lacks cache block"
+
+(* a registered workload through the daemon matches the direct pipeline *)
+let test_workload_job () =
+  let responses, failed =
+    serve_batch [ {|{"id": 1, "workload": "mcf", "level": "alat"}|} ]
+  in
+  Alcotest.(check int) "no failures" 0 failed;
+  let r = List.hd responses in
+  let w = Srp_workloads.Registry.find "mcf" in
+  let direct = Pipeline.profile_compile_run_monolithic w Pipeline.Alat in
+  Alcotest.(check string) "output matches direct pipeline"
+    direct.Pipeline.output (str_field "output" r);
+  Alcotest.(check int) "exit code matches"
+    (Int64.to_int direct.Pipeline.exit_code)
+    (int_field "exit_code" r)
+
+(* --- randomized soak: daemon vs monolithic pipeline ---
+
+   Each job is a random gen_minic program at a random level with random
+   backend flags; the daemon's answer must match the seed monolithic
+   pipeline bit for bit.  SRP_SOAK_JOBS scales the batch (the CI soak
+   job sets 200); the default keeps `dune runtest` fast. *)
+let soak_jobs =
+  match Option.bind (Sys.getenv_opt "SRP_SOAK_JOBS") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 6
+
+let test_soak () =
+  let rng = Srp_support.Rng.create 0x5e41e in
+  let descs =
+    List.init soak_jobs (fun i ->
+        let seed = Srp_support.Rng.int rng 1_000_000 in
+        let level =
+          List.nth Pipeline.all_levels
+            (Srp_support.Rng.int rng (List.length Pipeline.all_levels))
+        in
+        let flag () = Srp_support.Rng.int rng 2 = 0 in
+        (i, Gen_minic.program ~seed (), level, flag (), flag (), flag ()))
+  in
+  let batch =
+    List.map
+      (fun (i, src, level, layout, bundle, split) ->
+        Json.to_string
+          (Json.Obj
+             [ ("id", Json.Int i);
+               ("source", Json.String src);
+               ("level", Json.String (Pipeline.level_name level));
+               ("layout", Json.Bool layout);
+               ("bundle", Json.Bool bundle);
+               ("split", Json.Bool split) ]))
+      descs
+  in
+  let responses, failed = serve_batch batch in
+  Alcotest.(check int) "no failed soak jobs" 0 failed;
+  List.iteri
+    (fun i (_, src, level, layout, bundle, split) ->
+      let r = List.nth responses i in
+      let w =
+        { Workload.name = Fmt.str "soak-%d" i; description = "soak";
+          source = src; train = []; ref_ = [] }
+      in
+      let direct =
+        Pipeline.profile_compile_run_monolithic ~layout ~bundle ~split w level
+      in
+      Alcotest.(check string)
+        (Fmt.str "soak job %d output" i)
+        direct.Pipeline.output (str_field "output" r);
+      Alcotest.(check int)
+        (Fmt.str "soak job %d exit code" i)
+        (Int64.to_int direct.Pipeline.exit_code)
+        (int_field "exit_code" r))
+    descs
+
+let suite =
+  [ Alcotest.test_case "batch: order, dedup, stats, summary" `Quick test_batch;
+    Alcotest.test_case "workload job matches direct pipeline" `Slow
+      test_workload_job;
+    Alcotest.test_case
+      (Fmt.str "soak: %d random jobs vs monolithic" soak_jobs)
+      `Slow test_soak ]
