@@ -9,20 +9,44 @@ open Srp_driver
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 let json = Array.exists (fun a -> a = "--json") Sys.argv
 
-(* -o FILE: where --json writes the document (default stdout) *)
-let out_file =
+let flag_value name =
   let rec find i =
     if i + 1 >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = "-o" then Some Sys.argv.(i + 1)
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
     else find (i + 1)
   in
   find 0
+
+(* -o FILE: where --json writes the document (default stdout) *)
+let out_file = flag_value "-o"
+
+(* --trace-spans FILE: wall-clock spans of the whole sweep (stage builds,
+   pool tasks, timed passes) as an srp-spans-v1 trace-event file *)
+let spans_file = flag_value "--trace-spans"
 
 let section title = Fmt.pr "@.==== %s ====@.@." title
 
 let () =
   let workloads = Srp_workloads.Registry.all () in
   let t0 = Unix.gettimeofday () in
+  let span_state =
+    match spans_file with
+    | None -> None
+    | Some path ->
+      let oc = open_out path in
+      let tracer = Srp_obs.Span.create ~out:oc () in
+      Srp_obs.Span.install tracer;
+      Some (path, oc, tracer)
+  in
+  at_exit (fun () ->
+      match span_state with
+      | None -> ()
+      | Some (path, oc, tracer) ->
+        Srp_obs.Span.uninstall ();
+        Srp_obs.Span.close tracer;
+        close_out oc;
+        Fmt.pr "spans written to %s (%d events)@." path
+          (Srp_obs.Span.emitted tracer));
   section "Reproduction: Speculative Register Promotion using ALAT (CGO 2003)";
   Fmt.pr
     "Pipeline per benchmark: alias profile on the train input, baseline\n\

@@ -5,7 +5,12 @@
      run       compile and execute on the machine simulator
      profile   interpret a MiniC file and dump its alias profile
      ssa       print the speculative memory-SSA form (chi/mu, figure 5/6 style)
-     bench     run a named workload at two levels and compare counters
+     bench     run a workload (or the full sweep) at two levels and compare
+               counters; --compare diffs two bench documents as a
+               regression gate
+     report    render wall-time tables and a text flamegraph from a
+               --trace-spans file
+     serve     batch compile-and-simulate daemon (JSON-lines on stdin)
      list      list the built-in SPEC-like workloads *)
 
 open Cmdliner
@@ -106,6 +111,63 @@ let with_trace path f =
           (if Srp_obs.Trace.truncated sink then ", truncated" else ""))
       (fun () -> f (Some sink))
 
+let trace_spans_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-spans" ] ~docv:"FILE"
+           ~doc:"write wall-clock spans (schema srp-spans-v1, Chrome \
+                 trace-event JSON — load in Perfetto or chrome://tracing) \
+                 to FILE")
+
+(* Run [f] with the process span tracer installed and streaming to
+   [path]; every instrumented scope (stage builds, pool tasks, serve
+   jobs, timed passes) in [f] lands in the file. *)
+let with_spans path f =
+  match path with
+  | None -> f ()
+  | Some path ->
+    let oc = open_out path in
+    let tracer = Srp_obs.Span.create ~out:oc () in
+    Srp_obs.Span.install tracer;
+    Fun.protect
+      ~finally:(fun () ->
+        Srp_obs.Span.uninstall ();
+        Srp_obs.Span.close tracer;
+        close_out oc;
+        Fmt.epr "spans written to %s (%d events%s)@." path
+          (Srp_obs.Span.emitted tracer)
+          (if Srp_obs.Span.truncated tracer then ", truncated" else ""))
+      f
+
+let timeline_arg =
+  Arg.(value & opt (some string) None
+       & info [ "timeline" ] ~docv:"FILE"
+           ~doc:"sample machine occupancy (ALAT live entries, RSE \
+                 dirty/clean registers, issue utilization, cache misses) \
+                 every N cycles to FILE as JSON lines (schema \
+                 srp-timeline-v1)")
+
+let timeline_interval_arg =
+  Arg.(value & opt int 1000
+       & info [ "timeline-interval" ] ~docv:"N"
+           ~doc:"cycles between timeline samples (with --timeline)")
+
+(* Run [f] with an optional timeline sampler writing to [path]. *)
+let with_timeline path ~interval f =
+  match path with
+  | None -> f None
+  | Some path ->
+    let oc = open_out path in
+    let sink = Srp_obs.Trace.create oc in
+    let tl = Srp_machine.Timeline.create ~interval sink in
+    Fun.protect
+      ~finally:(fun () ->
+        Srp_obs.Trace.close sink;
+        close_out oc;
+        Fmt.epr "timeline written to %s (%d rows%s)@." path
+          (Srp_obs.Trace.emitted sink)
+          (if Srp_obs.Trace.truncated sink then ", truncated" else ""))
+      (fun () -> f (Some tl))
+
 (* Build a trivial single-input workload out of a source file so the
    pipeline's profile-then-compile flow applies unchanged. *)
 let workload_of_file path =
@@ -150,17 +212,20 @@ let no_cache_arg =
                  path is held bit-identical to")
 
 let run_cmd =
-  let run file level ablations json trace no_layout no_bundle no_split no_cache =
+  let run file level ablations json trace trace_spans timeline
+      timeline_interval no_layout no_bundle no_split no_cache =
     let w = workload_of_file file in
     let pcr =
       if no_cache then Pipeline.profile_compile_run_monolithic
       else Pipeline.profile_compile_run ?cache:None
     in
     let r =
-      with_trace trace (fun trace ->
-          pcr ?trace ~ablations
-            ~layout:(not no_layout) ~bundle:(not no_bundle)
-            ~split:(not no_split) w level)
+      with_spans trace_spans (fun () ->
+          with_timeline timeline ~interval:timeline_interval (fun timeline ->
+              with_trace trace (fun trace ->
+                  pcr ?trace ?timeline ~ablations
+                    ~layout:(not no_layout) ~bundle:(not no_bundle)
+                    ~split:(not no_split) w level)))
     in
     if json then
       Fmt.pr "%s@." (J.to_string ~indent:2 (Emit.run_json ~name:w.Workload.name r))
@@ -175,6 +240,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"compile and execute on the machine simulator")
     Term.(const run $ file_arg $ level_arg $ ablation_arg $ json_arg $ trace_arg
+          $ trace_spans_arg $ timeline_arg $ timeline_interval_arg
           $ no_layout_arg $ no_bundle_arg $ no_split_arg $ no_cache_arg)
 
 let serve_cmd =
@@ -184,15 +250,16 @@ let serve_cmd =
              ~doc:"artifact store capacity (entries); least-recently-used \
                    artifacts are evicted beyond it")
   in
-  let run capacity =
+  let run capacity trace_spans =
     let lookup name =
       List.find_opt
         (fun w -> w.Workload.name = name)
         (Srp_workloads.Registry.all ())
     in
     let failed =
-      Srp_driver.Serve.serve ~lookup ~now:Unix.gettimeofday ~capacity stdin
-        stdout
+      with_spans trace_spans (fun () ->
+          Srp_driver.Serve.serve ~lookup ~now:Unix.gettimeofday ~capacity
+            stdin stdout)
     in
     if failed > 0 then exit 1
   in
@@ -200,8 +267,9 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"batch compile-and-simulate daemon: JSON-lines jobs on stdin \
              (schema srp-serve-v1), one response line per job plus a \
-             summary with compiles/sec and cache hit rate")
-    Term.(const run $ capacity_arg)
+             summary with compiles/sec, per-stage wall time, job latency \
+             percentiles and the cache hit rate")
+    Term.(const run $ capacity_arg $ trace_spans_arg)
 
 let profile_cmd =
   let out_arg =
@@ -252,13 +320,90 @@ let ssa_cmd =
 
 let bench_cmd =
   let name_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+    Arg.(value & pos 0 string "all"
+         & info [] ~docv:"WORKLOAD"
+             ~doc:"workload name, \"all\" for the full sweep (default), or \
+                   OLD.json with --compare")
+  in
+  let second_arg =
+    Arg.(value & pos 1 (some string) None
+         & info [] ~docv:"NEW.json" ~doc:"new document (with --compare)")
   in
   let out_arg =
     Arg.(value & opt (some string) None
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"write the JSON document to FILE")
   in
-  let run name ablations json out =
+  let compare_arg =
+    Arg.(value & flag
+         & info [ "compare" ]
+             ~doc:"diff two srp-bench-v1 documents (OLD.json NEW.json) per \
+                   kernel and level; exit 1 on any counter regression \
+                   beyond the thresholds")
+  in
+  let cycle_threshold_arg =
+    Arg.(value & opt float 2.0
+         & info [ "cycle-threshold" ] ~docv:"PCT"
+             ~doc:"allowed % growth of cycle counters (cycles, \
+                   data_access_cycles, rse_cycles) under --compare")
+  in
+  let counter_threshold_arg =
+    Arg.(value & opt float 0.0
+         & info [ "counter-threshold" ] ~docv:"PCT"
+             ~doc:"allowed % growth of every other counter under --compare")
+  in
+  let parse_doc path =
+    match J.of_string (read_file path) with
+    | Ok doc -> doc
+    | Error e ->
+      Fmt.epr "error: %s: %s@." path e;
+      exit 2
+  in
+  let run_compare ~old_path ~new_path ~cycle_pct ~counter_pct =
+    let thresholds =
+      { Srp_driver.Report.Compare.cycle_pct; counter_pct }
+    in
+    match
+      Srp_driver.Report.Compare.compare_docs ~thresholds
+        ~old_doc:(parse_doc old_path) ~new_doc:(parse_doc new_path) ()
+    with
+    | Error e ->
+      Fmt.epr "error: %s@." e;
+      exit 2
+    | Ok [] -> Fmt.pr "no regressions (%s -> %s)@." old_path new_path
+    | Ok regs ->
+      Fmt.pr "%d counter regression(s):@.%s@?" (List.length regs)
+        (Srp_driver.Report.Compare.render regs);
+      exit 1
+  in
+  (* The sweep: every registry workload at baseline and alat over one
+     shared store — the same matrix as bench/main.exe. *)
+  let run_sweep ~json ~out =
+    let cache = Srp_driver.Stage.create ~capacity:1024 () in
+    let t0 = Unix.gettimeofday () in
+    let rs =
+      Srp_driver.Experiments.run_all ~cache (Srp_workloads.Registry.all ())
+    in
+    let wall_secs = Unix.gettimeofday () -. t0 in
+    let cache_doc =
+      Emit.cache_json ~stats:(Srp_driver.Stage.stats cache)
+        ~compiles:(2 * List.length rs) ~wall_secs
+    in
+    if json || out <> None then begin
+      let doc = Emit.bench_json ~cache:cache_doc rs in
+      match out with
+      | Some path ->
+        Emit.write_file path doc;
+        Fmt.epr "bench results written to %s@." path
+      | None -> Fmt.pr "%s@." (J.to_string ~indent:2 doc)
+    end
+    else begin
+      Fmt.pr "--- figure 8 ---@.%s@." (Srp_driver.Experiments.figure8 rs);
+      Fmt.pr "--- figure 9 ---@.%s@." (Srp_driver.Experiments.figure9 rs);
+      Fmt.pr "--- figure 10 ---@.%s@." (Srp_driver.Experiments.figure10 rs);
+      Fmt.pr "--- figure 11 ---@.%s@?" (Srp_driver.Experiments.figure11 rs)
+    end
+  in
+  let run_one ~name ~ablations ~json ~out =
     let w = Srp_workloads.Registry.find name in
     let cache = Srp_driver.Stage.create () in
     let t0 = Unix.gettimeofday () in
@@ -293,11 +438,56 @@ let bench_cmd =
         r.Srp_driver.Experiments.spec.Pipeline.site_stats
     end
   in
+  let run name second ablations json out compare trace_spans cycle_pct
+      counter_pct =
+    if compare then
+      match second with
+      | Some new_path ->
+        run_compare ~old_path:name ~new_path ~cycle_pct ~counter_pct
+      | None ->
+        Fmt.epr "error: --compare needs OLD.json and NEW.json@.";
+        exit 2
+    else
+      with_spans trace_spans (fun () ->
+          if name = "all" then run_sweep ~json ~out
+          else run_one ~name ~ablations ~json ~out)
+  in
   Cmd.v
     (Cmd.info "bench"
-       ~doc:"run one built-in workload at baseline and alat (--json/-o for \
-             machine-readable figure rows)")
-    Term.(const run $ name_arg $ ablation_arg $ json_arg $ out_arg)
+       ~doc:"run a built-in workload (or the full sweep) at baseline and \
+             alat (--json/-o for machine-readable figure rows), or diff \
+             two bench documents with --compare")
+    Term.(const run $ name_arg $ second_arg $ ablation_arg $ json_arg
+          $ out_arg $ compare_arg $ trace_spans_arg $ cycle_threshold_arg
+          $ counter_threshold_arg)
+
+let report_cmd =
+  let spanfile_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"SPANFILE" ~doc:"an srp-spans-v1 trace-event file")
+  in
+  let top_arg =
+    Arg.(value & opt int 15
+         & info [ "top" ] ~docv:"K"
+             ~doc:"number of hot span paths in the flamegraph table")
+  in
+  let run file top_k =
+    match J.of_string (read_file file) with
+    | Error e ->
+      Fmt.epr "error: %s: %s@." file e;
+      exit 2
+    | Ok doc -> (
+      match Srp_driver.Report.Span_report.render ~top_k doc with
+      | Error e ->
+        Fmt.epr "error: %s: %s@." file e;
+        exit 2
+      | Ok s -> print_string s)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"render per-stage/per-domain wall-time tables and a text \
+             flamegraph from a --trace-spans file")
+    Term.(const run $ spanfile_arg $ top_arg)
 
 let list_cmd =
   let run () =
@@ -311,4 +501,4 @@ let list_cmd =
 let () =
   let doc = "speculative register promotion using ALAT (CGO 2003 reproduction)" in
   let info = Cmd.info "srp" ~doc in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; profile_cmd; ssa_cmd; bench_cmd; serve_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; profile_cmd; ssa_cmd; bench_cmd; report_cmd; serve_cmd; list_cmd ]))

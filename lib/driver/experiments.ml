@@ -33,7 +33,15 @@ let pool_map ~(ntasks : int) (f : int -> 'a) : ('a, exn) result array =
     while !continue_ do
       let i = Atomic.fetch_and_add next 1 in
       if i >= ntasks then continue_ := false
-      else slots.(i) <- Some (try Ok (f i) with e -> Error e)
+      else
+        slots.(i) <-
+          Some
+            (try
+               Ok
+                 (Srp_obs.Span.with_span ~cat:"pool" "pool.task"
+                    ~args:[ ("task", Srp_obs.Json.Int i) ]
+                    (fun () -> f i))
+             with e -> Error e)
     done
   in
   let jobs =

@@ -101,12 +101,23 @@ type compiled = {
    builds; without one, stages still run in the staged order (single
    lower, explicit clones) but nothing is retained. *)
 
+(* Every stage build runs under a span ("stage.lower", ..., category
+   "stage") carrying the content key, so a span file shows which builds
+   ran, on which domain, against which artifact — cache hits emit no
+   build span (the store emits a "cache.hit" instant instead). *)
+let staged name ~key (build : unit -> Stage.artifact) () : Stage.artifact =
+  Srp_obs.Span.with_span ~cat:"stage" ("stage." ^ name)
+    ~args:[ ("key", Srp_obs.Json.String key) ]
+    build
+
 let lower_stage cache (source : string) : string * Program.t =
   let key = Stage.Key.lower ~source in
   ( key,
     Stage.as_lowered
-      (Stage.get cache ~key ~build:(fun () ->
-           Stage.Lowered (Srp_frontend.Lower.compile_source source))) )
+      (Stage.get cache ~key
+         ~build:
+           (staged "lower" ~key (fun () ->
+                Stage.Lowered (Srp_frontend.Lower.compile_source source)))) )
 
 (* Input application works on a clone: the lowered artifact is shared by
    every build of this source, so baking an input set into it in place
@@ -116,21 +127,25 @@ let apply_stage cache ~(lower_key : string) (lowered : Program.t)
   let key = Stage.Key.apply ~lower_key input in
   ( key,
     Stage.as_applied
-      (Stage.get cache ~key ~build:(fun () ->
-           let prog = Program.clone lowered in
-           Workload.apply_input prog input;
-           Stage.Applied prog)) )
+      (Stage.get cache ~key
+         ~build:
+           (staged "apply-input" ~key (fun () ->
+                let prog = Program.clone lowered in
+                Workload.apply_input prog input;
+                Stage.Applied prog))) )
 
 let profile_stage cache ~(applied_key : string) (applied : Program.t) :
     string * Alias_profile.t =
   let key = Stage.Key.profile ~applied_key in
   ( key,
     Stage.as_profiled
-      (Stage.get cache ~key ~build:(fun () ->
-           Srp_obs.Stats.time ~pass:"profile" "train_interp" @@ fun () ->
-           let interp = Srp_profile.Interp.create applied in
-           ignore (Srp_profile.Interp.run interp);
-           Stage.Profiled (Srp_profile.Interp.profile interp))) )
+      (Stage.get cache ~key
+         ~build:
+           (staged "profile" ~key (fun () ->
+                Srp_obs.Stats.time ~pass:"profile" "train_interp" @@ fun () ->
+                let interp = Srp_profile.Interp.create applied in
+                ignore (Srp_profile.Interp.run interp);
+                Stage.Profiled (Srp_profile.Interp.profile interp)))) )
 
 (* Promotion mutates the program, so it too clones its (shared) input
    artifact.  At O0 there is no promotion: the applied artifact flows
@@ -146,13 +161,15 @@ let promote_stage cache ~(applied_key : string) (applied : Program.t)
   in
   let key = Stage.Key.promote ~applied_key ~config:config_fp in
   let art =
-    Stage.get cache ~key ~build:(fun () ->
-        match config with
-        | None -> Stage.Applied applied
-        | Some config ->
-          let ir = Program.clone applied in
-          let result = Srp_core.Promote.run ~config ir in
-          Stage.Promoted (ir, Some result))
+    Stage.get cache ~key
+      ~build:
+        (staged "promote" ~key (fun () ->
+             match config with
+             | None -> Stage.Applied applied
+             | Some config ->
+               let ir = Program.clone applied in
+               let result = Srp_core.Promote.run ~config ir in
+               Stage.Promoted (ir, Some result)))
   in
   let ir, result = Stage.as_promoted art in
   (key, ir, result)
@@ -162,8 +179,10 @@ let select_stage cache ~(promote_key : string) (ir : Program.t) :
   let key = Stage.Key.select ~promote_key in
   ( key,
     Stage.as_selected
-      (Stage.get cache ~key ~build:(fun () ->
-           Stage.Selected (Srp_target.Codegen.select_program ir))) )
+      (Stage.get cache ~key
+         ~build:
+           (staged "select" ~key (fun () ->
+                Stage.Selected (Srp_target.Codegen.select_program ir)))) )
 
 let regalloc_stage cache ~(select_key : string) ~(split : bool)
     (sel : Srp_target.Codegen.selected list) :
@@ -175,8 +194,10 @@ let regalloc_stage cache ~(select_key : string) ~(split : bool)
   in
   ( key,
     Stage.as_allocated
-      (Stage.get cache ~key ~build:(fun () ->
-           Stage.Allocated (Srp_target.Codegen.alloc_program ~ra sel))) )
+      (Stage.get cache ~key
+         ~build:
+           (staged "regalloc" ~key (fun () ->
+                Stage.Allocated (Srp_target.Codegen.alloc_program ~ra sel)))) )
 
 let layout_stage cache ~(regalloc_key : string) ~(layout : bool)
     (al : Srp_target.Codegen.allocated list) :
@@ -184,9 +205,11 @@ let layout_stage cache ~(regalloc_key : string) ~(layout : bool)
   let key = Stage.Key.layout ~regalloc_key ~layout in
   ( key,
     Stage.as_allocated
-      (Stage.get cache ~key ~build:(fun () ->
-           Stage.Allocated
-             (if layout then Srp_target.Codegen.layout_program al else al))) )
+      (Stage.get cache ~key
+         ~build:
+           (staged "layout" ~key (fun () ->
+                Stage.Allocated
+                  (if layout then Srp_target.Codegen.layout_program al else al)))) )
 
 let bundle_stage cache ~(layout_key : string) ~(bundle : bool)
     (al : Srp_target.Codegen.allocated list) :
@@ -194,8 +217,10 @@ let bundle_stage cache ~(layout_key : string) ~(bundle : bool)
   let key = Stage.Key.bundle ~layout_key ~bundle in
   ( key,
     Stage.as_bundled
-      (Stage.get cache ~key ~build:(fun () ->
-           Stage.Bundled (Srp_target.Codegen.bundle_program ~bundle al))) )
+      (Stage.get cache ~key
+         ~build:
+           (staged "bundle" ~key (fun () ->
+                Stage.Bundled (Srp_target.Codegen.bundle_program ~bundle al)))) )
 
 (* Collect an alias profile by interpreting the program on the train
    input, via the lower / apply-input / profile stages — the train run
@@ -241,8 +266,8 @@ type run_result = {
   site_stats : Srp_obs.Site_hist.t;
 }
 
-let run ?fuel ?trace (c : compiled) : run_result =
-  let m = Srp_machine.Machine.create ?fuel ?trace c.target in
+let run ?fuel ?trace ?timeline (c : compiled) : run_result =
+  let m = Srp_machine.Machine.create ?fuel ?trace ?timeline c.target in
   let exit_code = Srp_machine.Machine.run m in
   { compiled = c; exit_code;
     output = Srp_machine.Machine.output m;
@@ -254,8 +279,8 @@ let run ?fuel ?trace (c : compiled) : run_result =
    run still shares the lower artifact between the train-profile and ref
    builds, so parse/lower fires once per distinct source (the seed path
    lowered the same source twice per alat run). *)
-let profile_compile_run ?fuel ?trace ?cache ?ablations ?layout ?bundle
-    ?split (w : Workload.t) (level : level) : run_result =
+let profile_compile_run ?fuel ?trace ?timeline ?cache ?ablations ?layout
+    ?bundle ?split (w : Workload.t) (level : level) : run_result =
   let cache =
     match cache with Some c -> c | None -> Stage.create ~capacity:16 ()
   in
@@ -268,7 +293,7 @@ let profile_compile_run ?fuel ?trace ?cache ?ablations ?layout ?bundle
     compile ~cache ?profile ?ablations ?layout ?bundle ?split
       ~input:w.Workload.ref_ w level
   in
-  run ?fuel ?trace c
+  run ?fuel ?trace ?timeline c
 
 (* --- the seed monolithic path ---
 
@@ -304,8 +329,8 @@ let compile_monolithic ?profile ?(ablations = []) ?(layout = true)
   let target = Srp_target.Codegen.gen_program ~layout ~bundle ~ra ir in
   { level; ablations; split; ir; target; promote }
 
-let profile_compile_run_monolithic ?fuel ?trace ?ablations ?layout ?bundle
-    ?split (w : Workload.t) (level : level) : run_result =
+let profile_compile_run_monolithic ?fuel ?trace ?timeline ?ablations ?layout
+    ?bundle ?split (w : Workload.t) (level : level) : run_result =
   let profile =
     match level with
     | Alat -> Some (train_profile_monolithic w)
@@ -315,4 +340,4 @@ let profile_compile_run_monolithic ?fuel ?trace ?ablations ?layout ?bundle
     compile_monolithic ?profile ?ablations ?layout ?bundle ?split
       ~input:w.Workload.ref_ w level
   in
-  run ?fuel ?trace c
+  run ?fuel ?trace ?timeline c

@@ -95,7 +95,9 @@ type run_result = {
       (** per-site event attribution (pfmon stand-in) *)
 }
 
-val run : ?fuel:int -> ?trace:Srp_obs.Trace.sink -> compiled -> run_result
+val run :
+  ?fuel:int -> ?trace:Srp_obs.Trace.sink ->
+  ?timeline:Srp_machine.Timeline.t -> compiled -> run_result
 
 (** The standard experiment protocol: profile on train (for [Alat]),
     compile at [level], execute on ref.  Without an explicit [cache] an
@@ -104,6 +106,7 @@ val run : ?fuel:int -> ?trace:Srp_obs.Trace.sink -> compiled -> run_result
 val profile_compile_run :
   ?fuel:int ->
   ?trace:Srp_obs.Trace.sink ->
+  ?timeline:Srp_machine.Timeline.t ->
   ?cache:Stage.store ->
   ?ablations:ablation list ->
   ?layout:bool ->
@@ -135,6 +138,7 @@ val compile_monolithic :
 val profile_compile_run_monolithic :
   ?fuel:int ->
   ?trace:Srp_obs.Trace.sink ->
+  ?timeline:Srp_machine.Timeline.t ->
   ?ablations:ablation list ->
   ?layout:bool ->
   ?bundle:bool ->

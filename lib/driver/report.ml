@@ -156,3 +156,301 @@ let render_figure11 rows =
       (List.map
          (fun r -> [ r.f11_name; pct r.rse_increase; Fmt.str "%.4f" r.rse_fraction ])
          rows)
+
+(* --- `srp report`: consume an srp-spans-v1 file --- *)
+
+module Span_report = struct
+  (* One complete ("ph":"X") event of a span file; ts/dur in µs. *)
+  type event = { e_name : string; e_ts : float; e_dur : float; e_tid : int }
+
+  (* Parse the trace-event array, keeping complete events and noting the
+     "truncated" marker's drop count.  Instants (cache hits, enqueues)
+     carry no duration and don't participate in the time tables. *)
+  let parse (doc : J.t) : (event list * int, string) result =
+    match J.to_list_opt doc with
+    | None -> Error "span file is not a JSON array of trace events"
+    | Some items ->
+      let dropped = ref 0 in
+      let evs =
+        List.filter_map
+          (fun it ->
+            let str k = Option.bind (J.member k it) J.to_string_opt in
+            let num k = Option.bind (J.member k it) J.to_float_opt in
+            (if str "name" = Some "truncated" then
+               match
+                 Option.bind (J.member "args" it) (J.member "dropped")
+               with
+               | Some (J.Int n) -> dropped := n
+               | _ -> ());
+            match str "ph", str "name", num "ts", num "dur" with
+            | Some "X", Some name, Some ts, Some dur ->
+              Some
+                { e_name = name; e_ts = ts; e_dur = dur;
+                  e_tid =
+                    Option.value ~default:0
+                      (Option.bind (J.member "tid" it) J.to_int_opt) }
+            | _ -> None)
+          items
+      in
+      Ok (evs, !dropped)
+
+  type agg = {
+    mutable count : int;
+    mutable total : float; (* µs, inclusive of children *)
+    mutable self : float; (* µs, minus direct children *)
+  }
+
+  let touch tbl key =
+    match Hashtbl.find_opt tbl key with
+    | Some a -> a
+    | None ->
+      let a = { count = 0; total = 0.0; self = 0.0 } in
+      Hashtbl.replace tbl key a;
+      a
+
+  (* Reconstruct nesting per domain from the interval structure: events
+     sorted by (start asc, dur desc) visit parents before children, and a
+     stack of still-open intervals yields each event's span path
+     ("a;b;c").  Self time = duration minus direct children.  Returns
+     (per (name, tid) table, per path table). *)
+  let analyze (evs : event list) :
+      (string * int, agg) Hashtbl.t * (string, agg) Hashtbl.t =
+    let by_span : (string * int, agg) Hashtbl.t = Hashtbl.create 32 in
+    let by_path : (string, agg) Hashtbl.t = Hashtbl.create 32 in
+    let tids = Hashtbl.create 8 in
+    List.iter (fun e -> Hashtbl.replace tids e.e_tid ()) evs;
+    Hashtbl.iter
+      (fun tid () ->
+        let mine =
+          List.filter (fun e -> e.e_tid = tid) evs
+          |> List.sort (fun a b ->
+                 match compare a.e_ts b.e_ts with
+                 | 0 -> compare b.e_dur a.e_dur
+                 | c -> c)
+        in
+        (* stack of open (end-µs, path) frames, innermost first *)
+        let stack = ref [] in
+        List.iter
+          (fun e ->
+            let a = touch by_span (e.e_name, tid) in
+            a.count <- a.count + 1;
+            a.total <- a.total +. e.e_dur;
+            while
+              match !stack with
+              | (end_, _) :: rest when end_ <= e.e_ts ->
+                stack := rest;
+                true
+              | _ -> false
+            do
+              ()
+            done;
+            let path =
+              match !stack with
+              | [] -> e.e_name
+              | (_, ppath) :: _ ->
+                (* charge this event to its parent path's children *)
+                let p = touch by_path ppath in
+                p.self <- p.self -. e.e_dur;
+                ppath ^ ";" ^ e.e_name
+            in
+            let pa = touch by_path path in
+            pa.count <- pa.count + 1;
+            pa.total <- pa.total +. e.e_dur;
+            pa.self <- pa.self +. e.e_dur;
+            stack := (e.e_ts +. e.e_dur, path) :: !stack)
+          mine)
+      tids;
+    (by_span, by_path)
+
+  let ms us = Fmt.str "%.3f" (us /. 1e3)
+
+  (* The per-stage/per-domain wall-time table: one row per (span name,
+     domain), busiest first. *)
+  let span_table by_span : string =
+    let rows =
+      Hashtbl.fold (fun (name, tid) a acc -> (name, tid, a) :: acc) by_span []
+      |> List.sort (fun (_, _, a) (_, _, b) -> compare b.total a.total)
+      |> List.map (fun (name, tid, a) ->
+             [ name; string_of_int tid; string_of_int a.count; ms a.total ])
+    in
+    Srp_support.Pp_util.render_table
+      ~header:[ "span"; "domain"; "count"; "total ms" ] ~rows
+
+  (* The text flamegraph: top-K span paths by self time, indented by
+     nesting depth. *)
+  let flamegraph ?(top_k = 15) by_path : string =
+    let rows =
+      Hashtbl.fold (fun path a acc -> (path, a) :: acc) by_path []
+      |> List.sort (fun (_, a) (_, b) -> compare b.self a.self)
+      |> List.filteri (fun i _ -> i < top_k)
+      |> List.map (fun (path, a) ->
+             let parts = String.split_on_char ';' path in
+             let depth = List.length parts - 1 in
+             let leaf = List.nth parts depth in
+             [ String.make (2 * depth) ' ' ^ leaf;
+               string_of_int a.count; ms a.self; ms a.total ])
+    in
+    Srp_support.Pp_util.render_table
+      ~header:[ "hot span path (by self time)"; "count"; "self ms"; "total ms" ]
+      ~rows
+
+  (* The whole `srp report` rendering for one span file. *)
+  let render ?top_k (doc : J.t) : (string, string) result =
+    match parse doc with
+    | Error e -> Error e
+    | Ok (evs, dropped) ->
+      let by_span, by_path = analyze evs in
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf
+        (Fmt.str "%d complete spans across %d domains%s\n\n" (List.length evs)
+           (Hashtbl.length
+              (let t = Hashtbl.create 8 in
+               List.iter (fun e -> Hashtbl.replace t e.e_tid ()) evs;
+               t))
+           (if dropped > 0 then Fmt.str " (truncated: %d dropped)" dropped
+            else ""));
+      Buffer.add_string buf (span_table by_span);
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (flamegraph ?top_k by_path);
+      Ok (Buffer.contents buf)
+end
+
+(* --- `srp bench --compare`: regression gate over two srp-bench-v1 docs --- *)
+
+module Compare = struct
+  type thresholds = {
+    cycle_pct : float;  (** allowed % growth of the cycle counters *)
+    counter_pct : float;  (** allowed % growth of every other counter *)
+  }
+
+  (* Cycle counts wobble with code layout, so they get slack by default;
+     event counts (loads, checks, ALAT traffic) are deterministic here
+     and any growth is a real change. *)
+  let default_thresholds = { cycle_pct = 2.0; counter_pct = 0.0 }
+
+  let cycle_counters = [ "cycles"; "data_access_cycles"; "rse_cycles" ]
+
+  (* l1_hits is the one counter where *more* is better and growth is
+     covered by loads_retired + l1_misses anyway; comparing it "new >
+     old = regression" would invert its meaning. *)
+  let ignored_counters = [ "l1_hits" ]
+
+  type regression = {
+    r_bench : string;
+    r_side : string; (* "baseline" | "alat" *)
+    r_counter : string;
+    r_old : int;
+    r_new : int;
+    r_delta_pct : float;
+  }
+
+  let bench_index (doc : J.t) : ((string, J.t) Hashtbl.t, string) result =
+    match Option.bind (J.member "schema" doc) J.to_string_opt with
+    | Some "srp-bench-v1" -> (
+      match Option.bind (J.member "benchmarks" doc) J.to_list_opt with
+      | None -> Error "missing \"benchmarks\" array"
+      | Some entries ->
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun e ->
+            match Option.bind (J.member "name" e) J.to_string_opt with
+            | Some name -> Hashtbl.replace tbl name e
+            | None -> ())
+          entries;
+        Ok tbl)
+    | _ -> Error "not an srp-bench-v1 document"
+
+  (* Compare one counters object pair; missing fields on the new side are
+     errors (a counter vanished), not silently skipped. *)
+  let compare_counters ~thresholds ~bench ~side (old_c : J.t) (new_c : J.t) :
+      (regression list, string) result =
+    match old_c with
+    | J.Obj fields ->
+      List.fold_left
+        (fun acc (counter, old_v) ->
+          match acc with
+          | Error _ -> acc
+          | Ok regs -> (
+            if List.mem counter ignored_counters then Ok regs
+            else
+              match old_v, Option.bind (J.member counter new_c) J.to_int_opt with
+              | J.Int old_v, Some new_v ->
+                let pct =
+                  if List.mem counter cycle_counters then thresholds.cycle_pct
+                  else thresholds.counter_pct
+                in
+                let limit =
+                  float_of_int old_v *. (1.0 +. (pct /. 100.0))
+                in
+                if new_v > old_v && float_of_int new_v > limit then
+                  Ok
+                    ({ r_bench = bench; r_side = side; r_counter = counter;
+                       r_old = old_v; r_new = new_v;
+                       r_delta_pct =
+                         100.0
+                         *. float_of_int (new_v - old_v)
+                         /. float_of_int (max 1 old_v) }
+                    :: regs)
+                else Ok regs
+              | J.Int _, None ->
+                Error
+                  (Fmt.str "%s/%s: counter %S missing from new document" bench
+                     side counter)
+              | _ -> Ok regs))
+        (Ok []) fields
+    | _ -> Error (Fmt.str "%s/%s: counters are not an object" bench side)
+
+  (* Diff two srp-bench-v1 documents per kernel x level.  A benchmark
+     present in [old_doc] but absent from [new_doc] is an error — a
+     silently dropped kernel must not read as "no regressions". *)
+  let compare_docs ?(thresholds = default_thresholds) ~(old_doc : J.t)
+      ~(new_doc : J.t) () : (regression list, string) result =
+    match bench_index old_doc, bench_index new_doc with
+    | Error e, _ -> Error ("old: " ^ e)
+    | _, Error e -> Error ("new: " ^ e)
+    | Ok old_tbl, Ok new_tbl ->
+      let names =
+        Hashtbl.fold (fun name _ acc -> name :: acc) old_tbl []
+        |> List.sort compare
+      in
+      List.fold_left
+        (fun acc name ->
+          match acc with
+          | Error _ -> acc
+          | Ok regs -> (
+            match Hashtbl.find_opt new_tbl name with
+            | None ->
+              Error (Fmt.str "benchmark %S missing from new document" name)
+            | Some new_e -> (
+              let old_e = Hashtbl.find old_tbl name in
+              let side side_name field k =
+                match J.member field old_e, J.member field new_e with
+                | Some o, Some n ->
+                  Result.bind
+                    (compare_counters ~thresholds ~bench:name ~side:side_name
+                       o n)
+                    k
+                | _ ->
+                  Error (Fmt.str "%s: missing %s" name field)
+              in
+              match
+                side "baseline" "baseline_counters" @@ fun base_regs ->
+                side "alat" "alat_counters" @@ fun alat_regs ->
+                Ok (base_regs @ alat_regs)
+              with
+              | Ok more -> Ok (regs @ more)
+              | Error e -> Error e)))
+        (Ok []) names
+
+  let render (regs : regression list) : string =
+    if regs = [] then "no regressions\n"
+    else
+      Srp_support.Pp_util.render_table
+        ~header:[ "benchmark"; "level"; "counter"; "old"; "new"; "delta %" ]
+        ~rows:
+          (List.map
+             (fun r ->
+               [ r.r_bench; r.r_side; r.r_counter; string_of_int r.r_old;
+                 string_of_int r.r_new; Fmt.str "+%.2f" r.r_delta_pct ])
+             regs)
+end

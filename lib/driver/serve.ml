@@ -21,6 +21,7 @@
 
 module Json = Srp_obs.Json
 module Stats = Srp_obs.Stats
+module Span = Srp_obs.Span
 
 type job = {
   j_id : Json.t;  (* echoed back verbatim; line number if absent *)
@@ -124,11 +125,17 @@ let parse_job ~(lookup : string -> Workload.t option) ~(line_no : int)
    this job alone. *)
 type outcome = (Pipeline.run_result * Stats.Scope.t, exn) result
 
-let run_job ~cache (j : job) : Pipeline.run_result * Stats.Scope.t =
-  Stats.with_scope (fun () ->
-      Pipeline.profile_compile_run ?fuel:j.j_fuel ~cache
-        ~ablations:j.j_ablations ~layout:j.j_layout ~bundle:j.j_bundle
-        ~split:j.j_split j.j_w j.j_level)
+let run_job ~cache ~key (j : job) : Pipeline.run_result * Stats.Scope.t =
+  Span.with_span ~cat:"serve" "serve.job"
+    ~args:
+      [ ("key", Json.String key);
+        ("workload", Json.String j.j_w.Workload.name);
+        ("level", Json.String (Pipeline.level_name j.j_level)) ]
+    (fun () ->
+      Stats.with_scope (fun () ->
+          Pipeline.profile_compile_run ?fuel:j.j_fuel ~cache
+            ~ablations:j.j_ablations ~layout:j.j_layout ~bundle:j.j_bundle
+            ~split:j.j_split j.j_w j.j_level))
 
 let result_json (j : job) ~key ~deduped (r : Pipeline.run_result)
     (scope : Stats.Scope.t) : Json.t =
@@ -152,11 +159,23 @@ let error_json (id : Json.t) (msg : string) : Json.t =
       ("id", id);
       ("error", Json.String msg) ]
 
+(* Nearest-rank percentile over a sorted array; 0 for an empty batch. *)
+let percentile (sorted : float array) (p : float) : float =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    sorted.(max 0
+              (min (n - 1)
+                 (int_of_float (Float.ceil (p *. float_of_int n)) - 1)))
+
 let summary_json ~jobs ~unique ~errors ~deduped ~wall_secs
+    ~(latencies : float array) ~(stages : (string * int * float) list)
     ~(cache_stats : Stage.cache_stats) : Json.t =
   let compiles_per_sec =
     if wall_secs > 0.0 then float_of_int unique /. wall_secs else 0.0
   in
+  let sorted = Array.copy latencies in
+  Array.sort compare sorted;
   Json.Obj
     [ ("type", Json.String "summary");
       ("schema", Json.String "srp-serve-v1");
@@ -166,6 +185,20 @@ let summary_json ~jobs ~unique ~errors ~deduped ~wall_secs
       ("errors", Json.Int errors);
       ("wall_secs", Json.Float wall_secs);
       ("compiles_per_sec", Json.Float compiles_per_sec);
+      ("latency",
+       Json.Obj
+         [ ("p50_secs", Json.Float (percentile sorted 0.50));
+           ("p95_secs", Json.Float (percentile sorted 0.95));
+           ("max_secs", Json.Float (percentile sorted 1.0)) ]);
+      ("stages",
+       Json.Obj
+         (List.map
+            (fun (stage, builds, secs) ->
+              ( stage,
+                Json.Obj
+                  [ ("builds", Json.Int builds);
+                    ("wall_secs", Json.Float secs) ] ))
+            stages));
       ("cache",
        Json.Obj
          [ ("hits", Json.Int cache_stats.Stage.hits);
@@ -175,9 +208,23 @@ let summary_json ~jobs ~unique ~errors ~deduped ~wall_secs
 
 (* Read the whole batch, answer every line in order, emit the summary.
    [now] supplies wall-clock time (Unix.gettimeofday from bin/ — this
-   library stays Unix-free).  Returns the number of failed jobs. *)
+   library stays Unix-free).  Returns the number of failed jobs.
+
+   The batch always runs under a span tracer: the one already installed
+   (`srp serve --trace-spans`), else a sink-less tracer created for the
+   batch — either way the summary line's per-stage breakdown comes from
+   its aggregated totals, so daemon health is visible without a trace
+   file. *)
 let serve ~(lookup : string -> Workload.t option) ~(now : unit -> float)
     ?(capacity = 512) (ic : in_channel) (oc : out_channel) : int =
+  let owned_tracer =
+    match Span.active () with
+    | Some _ -> None
+    | None ->
+      let t = Span.create () in
+      Span.install t;
+      Some t
+  in
   let lines = ref [] in
   (try
      while true do
@@ -198,56 +245,85 @@ let serve ~(lookup : string -> Workload.t option) ~(now : unit -> float)
   in
   (* dedupe by content key: first occurrence executes, the rest share *)
   let by_key : (string, int) Hashtbl.t = Hashtbl.create 16 in
-  let uniq : job list ref = ref [] in
+  let uniq : (job * string) list ref = ref [] in
   let nuniq = ref 0 in
   let routed =
     List.map
       (fun (id, parse) ->
+        Span.instant ~cat:"serve" "serve.enqueue" ~args:[ ("id", id) ];
         match parse with
         | Error e -> (id, Error e)
         | Ok j ->
           let key = job_key j in
           (match Hashtbl.find_opt by_key key with
-          | Some slot -> (id, Ok (j, key, slot, true))
+          | Some slot ->
+            Span.instant ~cat:"serve" "serve.dedup"
+              ~args:[ ("id", id); ("key", Json.String key) ];
+            (id, Ok (j, key, slot, true))
           | None ->
             let slot = !nuniq in
             Hashtbl.replace by_key key slot;
             incr nuniq;
-            uniq := j :: !uniq;
+            uniq := (j, key) :: !uniq;
             (id, Ok (j, key, slot, false))))
       parsed
   in
   let uniq = Array.of_list (List.rev !uniq) in
   let cache = Stage.create ~capacity () in
+  let latencies = Array.make (Array.length uniq) 0.0 in
   let t0 = now () in
   let outcomes : outcome array =
     Experiments.pool_map ~ntasks:(Array.length uniq) (fun i ->
-        run_job ~cache uniq.(i))
+        let j, key = uniq.(i) in
+        let l0 = Srp_obs.Clock.now () in
+        Fun.protect
+          ~finally:(fun () -> latencies.(i) <- Srp_obs.Clock.now () -. l0)
+          (fun () -> run_job ~cache ~key j))
   in
   let wall_secs = now () -. t0 in
   let failed = ref 0 in
   let ndeduped = ref 0 in
-  List.iter
-    (fun (id, routed) ->
-      let doc =
-        match routed with
-        | Error e ->
-          incr failed;
-          error_json id e
-        | Ok (j, key, slot, deduped) -> (
-          if deduped then incr ndeduped;
-          match outcomes.(slot) with
-          | Ok (r, scope) -> result_json j ~key ~deduped r scope
-          | Error e ->
-            incr failed;
-            error_json id (Printexc.to_string e))
-      in
-      output_string oc (Json.to_string doc);
-      output_char oc '\n')
-    routed;
+  Span.with_span ~cat:"serve" "serve.respond" (fun () ->
+      List.iter
+        (fun (id, routed) ->
+          let doc =
+            match routed with
+            | Error e ->
+              incr failed;
+              error_json id e
+            | Ok (j, key, slot, deduped) -> (
+              if deduped then incr ndeduped;
+              match outcomes.(slot) with
+              | Ok (r, scope) -> result_json j ~key ~deduped r scope
+              | Error e ->
+                incr failed;
+                error_json id (Printexc.to_string e))
+          in
+          output_string oc (Json.to_string doc);
+          output_char oc '\n')
+        routed);
+  (* per-stage wall-time breakdown: the tracer's aggregated "stage"
+     category, names stripped of their "stage." prefix *)
+  let stages =
+    match Span.active () with
+    | None -> []
+    | Some t ->
+      List.filter_map
+        (fun (cat, name, count, secs) ->
+          if cat <> "stage" then None
+          else
+            let stage =
+              if String.length name > 6 && String.sub name 0 6 = "stage." then
+                String.sub name 6 (String.length name - 6)
+              else name
+            in
+            Some (stage, count, secs))
+        (Span.totals t)
+  in
+  (match owned_tracer with Some _ -> Span.uninstall () | None -> ());
   let summary =
     summary_json ~jobs:(List.length routed) ~unique:(Array.length uniq)
-      ~errors:!failed ~deduped:!ndeduped ~wall_secs
+      ~errors:!failed ~deduped:!ndeduped ~wall_secs ~latencies ~stages
       ~cache_stats:(Stage.stats cache)
   in
   output_string oc (Json.to_string summary);

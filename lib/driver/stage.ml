@@ -159,6 +159,8 @@ let evict_locked (t : store) =
       Hashtbl.remove t.tbl key;
       t.evictions <- t.evictions + 1;
       Srp_obs.Stats.incr (Srp_obs.Stats.counter ~pass:"cache" "evictions");
+      Srp_obs.Span.instant ~cat:"cache" "cache.evict"
+        ~args:[ ("key", Srp_obs.Json.String key) ];
       decr ready
     | None -> ready := 0 (* unreachable: ready > capacity >= 1 *)
   done
@@ -173,12 +175,18 @@ let rec find_or_build (t : store) ~(key : string)
     t.hits <- t.hits + 1;
     Mutex.unlock t.mu;
     Srp_obs.Stats.incr (Srp_obs.Stats.counter ~pass:"cache" "hits");
+    Srp_obs.Span.instant ~cat:"cache" "cache.hit"
+      ~args:[ ("key", Srp_obs.Json.String key) ];
     r.art
   | Some Building ->
     (* another domain is building this key: wait for it to resolve, then
        look again (the slot may also have vanished if the builder failed,
-       in which case this caller becomes the builder) *)
-    Condition.wait t.cond t.mu;
+       in which case this caller becomes the builder).  The span makes
+       dedup stalls visible: its duration is time spent blocked on
+       someone else's in-flight build of the same key. *)
+    Srp_obs.Span.with_span ~cat:"cache" "cache.wait"
+      ~args:[ ("key", Srp_obs.Json.String key) ]
+      (fun () -> Condition.wait t.cond t.mu);
     Mutex.unlock t.mu;
     find_or_build t ~key ~build
   | None ->
@@ -186,6 +194,8 @@ let rec find_or_build (t : store) ~(key : string)
     t.misses <- t.misses + 1;
     Mutex.unlock t.mu;
     Srp_obs.Stats.incr (Srp_obs.Stats.counter ~pass:"cache" "misses");
+    Srp_obs.Span.instant ~cat:"cache" "cache.miss"
+      ~args:[ ("key", Srp_obs.Json.String key) ];
     (match build () with
     | art ->
       Mutex.lock t.mu;

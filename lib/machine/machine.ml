@@ -52,6 +52,7 @@ type t = {
   c : Counters.t;
   site_stats : Site_hist.t;
   trace : Trace.sink option;
+  timeline : Timeline.t option;
   output : Buffer.t;
   mutable cycle : int;
   mutable group_slots : int; (* instructions issued in the current cycle *)
@@ -102,7 +103,7 @@ let mispredict_penalty = 6
    timing table in DESIGN.md). *)
 let check_recovery_penalty = mispredict_penalty + 10
 
-let create ?(fuel = 200_000_000) ?trace (prog : Insn.program) : t =
+let create ?(fuel = 200_000_000) ?trace ?timeline (prog : Insn.program) : t =
   let mem = Memory.create () in
   let globals = Hashtbl.create 16 in
   List.iter
@@ -126,7 +127,8 @@ let create ?(fuel = 200_000_000) ?trace (prog : Insn.program) : t =
     prog.Insn.globals;
   { prog; mem; globals; alat = Alat.create (); cache = Cache.create ();
     rse = Rse.create (); c = Counters.create ();
-    site_stats = Site_hist.create (); trace; output = Buffer.create 256;
+    site_stats = Site_hist.create (); trace; timeline;
+    output = Buffer.create 256;
     cycle = 0; group_slots = 0; group_mem = 0; group_fp = 0;
     group_bundles = 0; group_m_ports = 0; group_f_ports = 0;
     group_b_ports = 0; pending_stop = false; frame_uid = 0;
@@ -172,6 +174,19 @@ let op_name : Insn.insn -> string = function
 
 (* --- timing helpers --- *)
 
+(* Timeline hook: fires on every cycle advance, read-only — it cannot
+   perturb a counter (the on/off differential test holds the machine
+   bit-identical either way). *)
+let sample m =
+  match m.timeline with
+  | None -> ()
+  | Some tl ->
+    Timeline.maybe_sample tl ~cycle:m.cycle
+      ~alat_live:(Alat.occupancy m.alat)
+      ~rse_dirty:(Rse.dirty m.rse) ~rse_clean:(Rse.clean m.rse)
+      ~instrs:m.c.Counters.instrs_retired
+      ~l1_misses:m.c.Counters.l1_misses ~l2_misses:m.c.Counters.l2_misses
+
 let new_group m =
   if m.group_slots > 0 then begin
     m.cycle <- m.cycle + 1;
@@ -182,13 +197,15 @@ let new_group m =
     m.group_m_ports <- 0;
     m.group_f_ports <- 0;
     m.group_b_ports <- 0;
-    m.pending_stop <- false
+    m.pending_stop <- false;
+    sample m
   end
 
 let advance_cycles m n =
   if n > 0 then begin
     new_group m;
-    m.cycle <- m.cycle + n
+    m.cycle <- m.cycle + n;
+    sample m
   end
 
 (* Stall until [ready]; attribute to data access if [mem_src]. *)
@@ -200,7 +217,8 @@ let wait_until m ~ready ~mem_src =
       m.cycle <- ready;
       if mem_src then
         m.c.Counters.data_access_cycles <- m.c.Counters.data_access_cycles + stall;
-      tr m "stall" [ ("n", J.Int stall); ("mem", J.Bool mem_src) ]
+      tr m "stall" [ ("n", J.Int stall); ("mem", J.Bool mem_src) ];
+      sample m
     end
   end
 
@@ -649,6 +667,14 @@ let run (m : t) : int64 =
   let r = exec_function m main [] in
   new_group m;
   m.c.Counters.cycles <- m.cycle;
+  (match m.timeline with
+  | None -> ()
+  | Some tl ->
+    Timeline.final tl ~cycle:m.cycle
+      ~alat_live:(Alat.occupancy m.alat)
+      ~rse_dirty:(Rse.dirty m.rse) ~rse_clean:(Rse.clean m.rse)
+      ~instrs:m.c.Counters.instrs_retired
+      ~l1_misses:m.c.Counters.l1_misses ~l2_misses:m.c.Counters.l2_misses);
   Srp_obs.Stats.add
     (Srp_obs.Stats.counter ~pass:"machine" "instructions_retired")
     m.c.Counters.instrs_retired;
@@ -659,7 +685,8 @@ let counters m = m.c
 let site_stats m = m.site_stats
 
 (* Compile-and-run convenience used everywhere downstream. *)
-let run_program ?fuel ?trace (prog : Insn.program) : int64 * string * Counters.t =
-  let m = create ?fuel ?trace prog in
+let run_program ?fuel ?trace ?timeline (prog : Insn.program) :
+    int64 * string * Counters.t =
+  let m = create ?fuel ?trace ?timeline prog in
   let code = run m in
   (code, output m, counters m)

@@ -22,8 +22,13 @@ type t
 (** Load a target program: globals placed and initialized, counters zero.
     [fuel] bounds retired instructions (default 200M).  [trace] attaches a
     bounded per-cycle event sink (retires, stalls, ALAT arm/evict/
-    invalidate/check events, RSE traffic) — free when absent. *)
-val create : ?fuel:int -> ?trace:Srp_obs.Trace.sink -> Srp_target.Insn.program -> t
+    invalidate/check events, RSE traffic) — free when absent.  [timeline]
+    attaches a periodic occupancy sampler ({!Timeline}); also free when
+    absent, and read-only when present (counters and output stay
+    bit-identical). *)
+val create :
+  ?fuel:int -> ?trace:Srp_obs.Trace.sink -> ?timeline:Timeline.t ->
+  Srp_target.Insn.program -> t
 
 (** Execute [main]; returns its exit value.  Total cycles land in the
     counters. *)
@@ -43,5 +48,5 @@ val site_stats : t -> Srp_obs.Site_hist.t
 (** [run_program prog] = create + run; returns
     (exit code, output, counters). *)
 val run_program :
-  ?fuel:int -> ?trace:Srp_obs.Trace.sink -> Srp_target.Insn.program ->
-  int64 * string * Counters.t
+  ?fuel:int -> ?trace:Srp_obs.Trace.sink -> ?timeline:Timeline.t ->
+  Srp_target.Insn.program -> int64 * string * Counters.t

@@ -26,6 +26,12 @@ type t = {
 
 let create ?(phys_total = 24) () = { stack = []; phys_used = 0; phys_total }
 
+(* Occupancy views for the timeline sampler: dirty = stacked registers
+   resident in the physical file (the RSE would have to spill them),
+   clean = stacked registers currently saved to the backing store. *)
+let dirty t = t.phys_used
+let clean t = List.fold_left (fun acc f -> acc + f.spilled) 0 t.stack
+
 (* Allocate a frame of [nregs]; returns cycles spent spilling. *)
 let call t (c : Counters.t) ~nregs : int =
   let f = { nregs; spilled = 0 } in

@@ -20,3 +20,11 @@ val call : t -> Counters.t -> nregs:int -> int
 
 (** Return from the innermost frame; returns fill cycles. *)
 val ret : t -> Counters.t -> int
+
+(** Stacked registers resident in the physical file (would need a spill
+    to evict) — the timeline sampler's "rse_dirty". *)
+val dirty : t -> int
+
+(** Stacked registers currently saved to the backing store — the
+    sampler's "rse_clean". *)
+val clean : t -> int

@@ -1,0 +1,80 @@
+(* Machine timeline sampling (schema srp-timeline-v1).
+
+   The counters are end-of-run sums; a timeline gives the Figure-8-style
+   narrative a time axis: every [interval] cycles (default 1000) one
+   JSON-lines row records the machine's occupancy state — live ALAT
+   entries, RSE dirty (resident) vs. clean (backed-store) stacked
+   registers, issue-slot utilization and cache misses over the window.
+   The machine is event-driven rather than cycle-stepped, so samples are
+   taken at the first cycle boundary *at or after* each interval mark
+   (a multi-cycle stall lands one row, at its end); for the same reason
+   the cache column is misses-per-window, not an instantaneous
+   outstanding-miss count — the model has no in-flight state to probe.
+
+   Rows ride the bounded `Trace` sink, so a runaway run truncates with
+   the same `{"ev":"truncated","dropped":N}` record as an event trace.
+   The sampler only *reads* machine state — enabling it cannot perturb
+   a single counter (the differential test pins this). *)
+
+module J = Srp_obs.Json
+
+type t = {
+  sink : Srp_obs.Trace.sink;
+  interval : int;
+  mutable next_at : int; (* first cycle eligible for the next sample *)
+  (* previous sample's cumulative values, for the per-window deltas *)
+  mutable last_cycle : int;
+  mutable last_instrs : int;
+  mutable last_l1_misses : int;
+  mutable last_l2_misses : int;
+}
+
+let issue_width = 6
+
+let create ?(interval = 1000) (sink : Srp_obs.Trace.sink) : t =
+  if interval < 1 then
+    Fmt.invalid_arg "Timeline.create: interval %d" interval;
+  (* header row: lets a reader identify the schema and spacing without
+     out-of-band context *)
+  Srp_obs.Trace.emit sink ~cycle:0 "timeline.header"
+    [ ("schema", J.String "srp-timeline-v1"); ("interval", J.Int interval) ];
+  { sink; interval; next_at = interval; last_cycle = 0; last_instrs = 0;
+    last_l1_misses = 0; last_l2_misses = 0 }
+
+let row t ~cycle ~alat_live ~rse_dirty ~rse_clean ~instrs ~l1_misses
+    ~l2_misses =
+  let dcycles = cycle - t.last_cycle in
+  let issue_util =
+    if dcycles <= 0 then 0.0
+    else
+      float_of_int (instrs - t.last_instrs)
+      /. float_of_int (issue_width * dcycles)
+  in
+  Srp_obs.Trace.emit t.sink ~cycle "timeline"
+    [ ("alat_live", J.Int alat_live);
+      ("rse_dirty", J.Int rse_dirty);
+      ("rse_clean", J.Int rse_clean);
+      ("issue_util", J.Float issue_util);
+      ("l1_misses", J.Int (l1_misses - t.last_l1_misses));
+      ("l2_misses", J.Int (l2_misses - t.last_l2_misses)) ];
+  t.last_cycle <- cycle;
+  t.last_instrs <- instrs;
+  t.last_l1_misses <- l1_misses;
+  t.last_l2_misses <- l2_misses;
+  (* next mark strictly ahead of [cycle], on the interval grid *)
+  t.next_at <- ((cycle / t.interval) + 1) * t.interval
+
+(* The machine calls this whenever its cycle advances; a row is emitted
+   only when the cycle has crossed the next interval mark. *)
+let maybe_sample t ~cycle ~alat_live ~rse_dirty ~rse_clean ~instrs
+    ~l1_misses ~l2_misses =
+  if cycle >= t.next_at then
+    row t ~cycle ~alat_live ~rse_dirty ~rse_clean ~instrs ~l1_misses
+      ~l2_misses
+
+(* End of run: one unconditional closing row, so short programs (under
+   one interval) still produce a timeline. *)
+let final t ~cycle ~alat_live ~rse_dirty ~rse_clean ~instrs ~l1_misses
+    ~l2_misses =
+  row t ~cycle ~alat_live ~rse_dirty ~rse_clean ~instrs ~l1_misses
+    ~l2_misses

@@ -1,0 +1,34 @@
+(** Machine timeline sampling (schema [srp-timeline-v1]).
+
+    A bounded periodic sampler: every [interval] cycles one JSON-lines
+    row records live ALAT entries, RSE dirty/clean stacked registers,
+    issue-slot utilization and per-window cache misses — a time axis
+    for the end-of-run counter sums.  Rows ride a {!Srp_obs.Trace}
+    sink and share its truncation convention.  Default off; attach via
+    [Machine.create ~timeline].
+
+    The machine is event-driven, so a sample lands at the first cycle
+    boundary at or after each interval mark, and the cache column is
+    misses accumulated over the window (the model tracks no in-flight
+    miss state).  The sampler only reads machine state: enabling it
+    leaves every counter and program output bit-identical. *)
+
+type t
+
+(** [create ?interval sink] (default interval 1000 cycles) writes a
+    header row ([{"ev":"timeline.header","schema":"srp-timeline-v1",
+    "interval":N}]) and returns the sampler.  Raises [Invalid_argument]
+    if [interval < 1]. *)
+val create : ?interval:int -> Srp_obs.Trace.sink -> t
+
+(** Called by the machine when its cycle counter advances; emits a row
+    iff [cycle] has crossed the next interval mark. *)
+val maybe_sample :
+  t -> cycle:int -> alat_live:int -> rse_dirty:int -> rse_clean:int ->
+  instrs:int -> l1_misses:int -> l2_misses:int -> unit
+
+(** One unconditional closing row at end of run, so programs shorter
+    than one interval still produce a timeline. *)
+val final :
+  t -> cycle:int -> alat_live:int -> rse_dirty:int -> rse_clean:int ->
+  instrs:int -> l1_misses:int -> l2_misses:int -> unit

@@ -1,0 +1,17 @@
+(* Monotonic wall clock for the observability layer.
+
+   Every timer in this library used to read Sys.time — *process* CPU
+   time — which double-counts under the Domain pool: while one worker
+   times its phase, every other busy worker's CPU seconds land in the
+   same delta, so a two-domain bench run reported phases at ~2x their
+   real duration.  Spans and pass-statistics timers want wall-clock
+   time, and a *monotonic* one (gettimeofday can step backwards under
+   NTP), so we read CLOCK_MONOTONIC through the bechamel stub that is
+   already installed for the micro-benchmarks — no new dependency. *)
+
+(* Nanoseconds since an arbitrary origin; strictly non-decreasing. *)
+let ns () : int64 = Monotonic_clock.now ()
+
+(* Seconds since an arbitrary origin, as a float.  Only differences are
+   meaningful. *)
+let now () : float = Int64.to_float (Monotonic_clock.now ()) /. 1e9

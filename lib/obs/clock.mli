@@ -1,0 +1,13 @@
+(** Monotonic wall clock (CLOCK_MONOTONIC).
+
+    The time base for spans and pass-statistics timers.  Unlike
+    [Sys.time] (process CPU time, which double-counts concurrent Domain
+    workers into each other's phases) this is wall-clock, and unlike
+    [Unix.gettimeofday] it never steps backwards.  Only differences are
+    meaningful; the origin is arbitrary. *)
+
+(** Nanoseconds since an arbitrary origin; non-decreasing. *)
+val ns : unit -> int64
+
+(** Seconds since an arbitrary origin, as a float. *)
+val now : unit -> float

@@ -1,0 +1,183 @@
+(* Span tracing — the wall-clock side of the observability layer
+   (schema srp-spans-v1).
+
+   Where `Stats` answers "how much work did each pass do" and
+   `Site_hist` answers "which load site caused this event", spans answer
+   "where did the wall-clock time of this run go": every instrumented
+   scope (a stage build, a pool task, a serve job, a timed pass) becomes
+   one Chrome trace-event *complete* event (`"ph":"X"`) with a monotonic
+   timestamp, a duration, and tid = the Domain that ran it — so a
+   `--trace-spans FILE` run loads directly in Perfetto or
+   chrome://tracing as a flamegraph with one track per domain.
+
+   The tracer is process-global like the Stats registry: instrumentation
+   sites call {!with_span} unconditionally, and when no tracer is
+   installed (the default) the only cost is one atomic load.  Writing is
+   mutex-serialized; the bound keeps a runaway batch from filling the
+   disk, and `close` appends a final instant event named "truncated"
+   with the drop count — the span-file analogue of `Trace`'s
+   `{"ev":"truncated","dropped":N}` record.
+
+   Every tracer also aggregates (cat, name) -> (count, total seconds)
+   in memory, whether or not a file sink is attached; `srp serve` runs a
+   sink-less tracer over every batch so its summary line can carry a
+   per-stage wall-time breakdown without anyone asking for a trace
+   file. *)
+
+type agg = { mutable a_count : int; mutable a_secs : float }
+
+type t = {
+  out : out_channel option;
+  limit : int;
+  mutable emitted : int;
+  mutable dropped : int;
+  mutable first : bool; (* no event written yet (comma placement) *)
+  t0 : int64; (* ns origin: tracer creation *)
+  totals : (string * string, agg) Hashtbl.t; (* (cat, name) *)
+  mu : Mutex.t;
+}
+
+let create ?(limit = 100_000) ?out () : t =
+  let t =
+    { out; limit; emitted = 0; dropped = 0; first = true; t0 = Clock.ns ();
+      totals = Hashtbl.create 32; mu = Mutex.create () }
+  in
+  (match out with None -> () | Some oc -> output_char oc '[');
+  t
+
+(* --- the installed tracer ---
+
+   One per process, like the Stats registry; read from every domain
+   (pool workers inherit it), so the slot is an Atomic. *)
+
+let installed : t option Atomic.t = Atomic.make None
+
+let install t = Atomic.set installed (Some t)
+let uninstall () = Atomic.set installed None
+let active () = Atomic.get installed
+let enabled () = Atomic.get installed <> None
+
+(* --- emission --- *)
+
+let us t (ns : int64) : float =
+  Int64.to_float (Int64.sub ns t.t0) /. 1e3
+
+(* One trace event, written under the tracer mutex.  [ph] is "X"
+   (complete, with dur) or "i" (instant). *)
+let write_event t ~name ~cat ~ph ~ts ?dur ~tid (args : (string * Json.t) list)
+    : unit =
+  Mutex.protect t.mu @@ fun () ->
+  if t.emitted >= t.limit then t.dropped <- t.dropped + 1
+  else begin
+    t.emitted <- t.emitted + 1;
+    match t.out with
+    | None -> ()
+    | Some oc ->
+      if t.first then t.first <- false else output_char oc ',';
+      output_char oc '\n';
+      output_string oc
+        (Json.to_string
+           (Json.Obj
+              ([ ("name", Json.String name); ("cat", Json.String cat);
+                 ("ph", Json.String ph); ("ts", Json.Float ts) ]
+              @ (match dur with
+                | None -> []
+                | Some d -> [ ("dur", Json.Float d) ])
+              @ [ ("pid", Json.Int 1); ("tid", Json.Int tid) ]
+              @ (match ph with
+                | "i" -> [ ("s", Json.String "t") ] (* thread-scoped instant *)
+                | _ -> [])
+              @ match args with
+                | [] -> []
+                | args -> [ ("args", Json.Obj args) ])))
+  end
+
+let bump_total t ~cat ~name secs =
+  Mutex.protect t.mu @@ fun () ->
+  match Hashtbl.find_opt t.totals (cat, name) with
+  | Some a ->
+    a.a_count <- a.a_count + 1;
+    a.a_secs <- a.a_secs +. secs
+  | None -> Hashtbl.replace t.totals (cat, name) { a_count = 1; a_secs = secs }
+
+let tid () = (Domain.self () :> int)
+
+(* --- the public instrumentation points --- *)
+
+(* [with_span_args name f]: run [f], emit one complete event spanning its
+   execution; [f] returns (result, extra args) so outcomes discovered
+   inside the scope (a cache hit, a job key) land in the event's args.
+   Exception-safe: a raising scope still emits, with an "exn" arg. *)
+let with_span_args ?(cat = "srp") ?(args = []) name
+    (f : unit -> 'a * (string * Json.t) list) : 'a =
+  match Atomic.get installed with
+  | None -> fst (f ())
+  | Some t ->
+    let start = Clock.ns () in
+    let finish extra =
+      let stop = Clock.ns () in
+      let dur_ns = Int64.sub stop start in
+      write_event t ~name ~cat ~ph:"X" ~ts:(us t start)
+        ~dur:(Int64.to_float dur_ns /. 1e3)
+        ~tid:(tid ()) (args @ extra);
+      bump_total t ~cat ~name (Int64.to_float dur_ns /. 1e9)
+    in
+    (match f () with
+    | v, extra ->
+      finish extra;
+      v
+    | exception e ->
+      finish [ ("exn", Json.String (Printexc.to_string e)) ];
+      raise e)
+
+let with_span ?cat ?args name (f : unit -> 'a) : 'a =
+  with_span_args ?cat ?args name (fun () -> (f (), []))
+
+(* A zero-duration marker (cache hits, evictions): a thread-scoped
+   instant event. *)
+let instant ?(cat = "srp") ?(args = []) name : unit =
+  match Atomic.get installed with
+  | None -> ()
+  | Some t ->
+    write_event t ~name ~cat ~ph:"i" ~ts:(us t (Clock.ns ())) ~tid:(tid ())
+      args;
+    bump_total t ~cat ~name 0.0
+
+(* --- reading a tracer back --- *)
+
+let emitted t = Mutex.protect t.mu (fun () -> t.emitted)
+let dropped t = Mutex.protect t.mu (fun () -> t.dropped)
+let truncated t = dropped t > 0
+
+(* (cat, name, count, total seconds), sorted by (cat, name). *)
+let totals t : (string * string * int * float) list =
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.fold
+        (fun (cat, name) a acc -> (cat, name, a.a_count, a.a_secs) :: acc)
+        t.totals [])
+  |> List.sort compare
+
+(* Close the JSON array.  If events were dropped, first append a final
+   instant event named "truncated" carrying the count (the reader-visible
+   marker that the file is a prefix).  Flushes but does not close the
+   channel — the opener owns it. *)
+let close t =
+  Mutex.protect t.mu (fun () ->
+      match t.out with
+      | None -> ()
+      | Some oc ->
+        if t.dropped > 0 then begin
+          if t.first then t.first <- false else output_char oc ',';
+          output_char oc '\n';
+          output_string oc
+            (Json.to_string
+               (Json.Obj
+                  [ ("name", Json.String "truncated");
+                    ("cat", Json.String "srp"); ("ph", Json.String "i");
+                    ("ts", Json.Float (us t (Clock.ns ())));
+                    ("pid", Json.Int 1); ("tid", Json.Int (tid ()));
+                    ("s", Json.String "t");
+                    ("args", Json.Obj [ ("dropped", Json.Int t.dropped) ]) ]))
+        end;
+        output_string oc "\n]\n";
+        flush oc)

@@ -1,0 +1,75 @@
+(** Span tracing (schema [srp-spans-v1]).
+
+    A domain-safe span tracer emitting Chrome trace-event /
+    Perfetto-compatible JSON: each instrumented scope becomes one
+    complete event ([{"ph":"X", ...}]) with monotonic microsecond
+    timestamps, [pid] 1 and [tid] = the id of the Domain that ran it.
+    The resulting file loads directly in Perfetto / chrome://tracing as
+    a per-domain flamegraph.
+
+    The tracer is process-global, mirroring the {!Stats} registry:
+    instrumentation sites call {!with_span} unconditionally; with no
+    tracer installed (the default) the cost is a single atomic load and
+    behavior is untouched. *)
+
+type t
+
+(** [create ?limit ?out ()] makes a tracer. [out], when given, receives
+    the JSON event array ([create] writes the opening ['[']; {!close}
+    writes the closing [']'] — the channel itself stays owned by the
+    caller). At most [limit] events (default [100_000]) are recorded;
+    later events are counted as dropped, and {!close} appends a final
+    instant event named ["truncated"] with [args.dropped] = the count.
+    Without [out] the tracer only aggregates {!totals} — the mode
+    [srp serve] uses for its summary breakdown. *)
+val create : ?limit:int -> ?out:out_channel -> unit -> t
+
+(** Install [t] as the process-global tracer read by {!with_span} and
+    {!instant} on every domain. *)
+val install : t -> unit
+
+(** Remove the installed tracer (spans become no-ops again). *)
+val uninstall : unit -> unit
+
+(** The currently installed tracer, if any. *)
+val active : unit -> t option
+
+(** [enabled () = (active () <> None)] — cheap guard for callers that
+    want to skip arg construction entirely. *)
+val enabled : unit -> bool
+
+(** [with_span ?cat ?args name f] runs [f ()] and, if a tracer is
+    installed, emits one complete event covering its execution.
+    Exception-safe: a raising [f] still emits (with an ["exn"] arg) and
+    the exception is re-raised. *)
+val with_span : ?cat:string -> ?args:(string * Json.t) list -> string ->
+  (unit -> 'a) -> 'a
+
+(** Like {!with_span}, but [f] returns [(result, extra_args)] so facts
+    discovered inside the scope — a cache hit, a result digest — land in
+    the span's [args]. *)
+val with_span_args : ?cat:string -> ?args:(string * Json.t) list -> string ->
+  (unit -> 'a * (string * Json.t) list) -> 'a
+
+(** Zero-duration marker (cache hit/evict): a thread-scoped instant
+    event ([{"ph":"i"}]). *)
+val instant : ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+
+(** Events recorded so far (not counting drops). *)
+val emitted : t -> int
+
+(** Events dropped after the limit was reached. *)
+val dropped : t -> int
+
+(** [truncated t = (dropped t > 0)]. *)
+val truncated : t -> bool
+
+(** Per-[(cat, name)] aggregation over all recorded spans:
+    [(cat, name, count, total_seconds)], sorted. Maintained even without
+    an [out] channel. *)
+val totals : t -> (string * string * int * float) list
+
+(** Finish the event array: append the ["truncated"] marker if events
+    were dropped, write the closing [']'], flush. Does not close the
+    channel. *)
+val close : t -> unit

@@ -23,7 +23,7 @@ type entry = {
   desc : string;
   kind : kind;
   mutable count : int; (* counter value, or timer invocation count *)
-  mutable secs : float; (* timers only: accumulated CPU seconds *)
+  mutable secs : float; (* timers only: accumulated wall-clock seconds *)
 }
 
 type counter = entry
@@ -157,22 +157,25 @@ let find ~pass name =
   | Some e -> Some (e.count, e.secs)
   | None -> None
 
-(* Accumulate CPU time (Sys.time: no Unix dependency; the numbers are for
-   relative phase comparison, not wall-clock benchmarking — Bechamel in
-   bench/ does that). *)
+(* Accumulate monotonic wall-clock time.  This used to read Sys.time —
+   *process* CPU time — which double-counts under the Domain pool: while
+   one worker timed its phase, every other busy worker's CPU seconds
+   landed in the same delta.  Timed scopes also surface as spans
+   ("pass.name") when a tracer is installed, so pass phases appear in
+   the flamegraph with no extra instrumentation. *)
 let time ~pass name f =
   let e = find_or_add ~pass ~name ~desc:"" Timer in
-  let t0 = Sys.time () in
+  let t0 = Clock.now () in
   Fun.protect
     ~finally:(fun () ->
-      let dt = Sys.time () -. t0 in
+      let dt = Clock.now () -. t0 in
       locked (fun () ->
           e.secs <- e.secs +. dt;
           e.count <- e.count + 1);
       scoped ~pass ~name Timer (fun s ->
           s.Scope.s_secs <- s.Scope.s_secs +. dt;
           s.Scope.s_count <- s.Scope.s_count + 1))
-    f
+    (fun () -> Span.with_span ~cat:"pass" (pass ^ "." ^ name) f)
 
 (* Sorted, not insertion-ordered: with domains racing to register
    counters, insertion order is run-dependent; (pass, name) is not. *)

@@ -25,8 +25,10 @@ val value : counter -> int
     [(count_or_calls, seconds)]. *)
 val find : pass:string -> string -> (int * float) option
 
-(** [time ~pass name f] runs [f ()], accumulating its CPU time
-    (Sys.time) and call count under the timer [(pass, name)].
+(** [time ~pass name f] runs [f ()], accumulating its monotonic
+    wall-clock time ({!Clock.now}) and call count under the timer
+    [(pass, name)].  When a {!Span} tracer is installed, the scope also
+    emits a span named ["pass.name"] (category ["pass"]).
     Exception-safe. *)
 val time : pass:string -> string -> (unit -> 'a) -> 'a
 

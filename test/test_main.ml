@@ -16,6 +16,7 @@ let () =
       ("machine", Test_machine.suite);
       ("random", Test_random.suite);
       ("obs", Test_obs.suite);
+      ("span", Test_span.suite);
       ("stage", Test_stage.suite);
       ("serve", Test_serve.suite);
       ("e2e", Test_e2e.suite) ]

@@ -187,6 +187,35 @@ let test_stats_timer_and_report () =
   | J.Arr [] -> ()
   | _ -> Alcotest.fail "reset did not clear the registry"
 
+(* Timed scopes use a monotonic wall clock, not Sys.time.  Sys.time is
+   *process* CPU time: two domains spinning concurrently advance it at
+   twice the wall rate, so each scope would record ~2x its own duration
+   (the bug this pins down).  Each domain spins for a fixed wall-clock
+   target, so with the wall clock every scope records ~target seconds
+   regardless of what other domains do. *)
+let test_stats_parallel_no_double_count () =
+  Stats.reset ();
+  let target = 0.05 in
+  let spin () =
+    let t0 = Srp_obs.Clock.now () in
+    while Srp_obs.Clock.now () -. t0 < target do
+      ()
+    done
+  in
+  let worker () = Stats.time ~pass:"obs-test" "parallel-scope" spin in
+  let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+  Domain.join d1;
+  Domain.join d2;
+  match Stats.find ~pass:"obs-test" "parallel-scope" with
+  | None -> Alcotest.fail "timer not recorded"
+  | Some (calls, secs) ->
+    Alcotest.(check int) "both scopes recorded" 2 calls;
+    Alcotest.(check bool)
+      (Fmt.str "no CPU-time double-count (%.3fs for 2 x %.3fs scopes)" secs
+         target)
+      true
+      (secs >= 2.0 *. target && secs < 2.0 *. target *. 1.5)
+
 (* --- Site_hist --- *)
 
 let test_site_hist_basics () =
@@ -293,6 +322,41 @@ let test_trace_bounded () =
     (match Option.bind (J.member "dropped" last) J.to_int_opt with
     | Some n -> n > 0
     | None -> false)
+
+(* Driving the sink past its bound emits exactly one
+   {"ev":"truncated","dropped":N} record, with N exact. *)
+let test_trace_truncation_exact () =
+  let path = Filename.temp_file "srp_obs_trace" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let limit = 10 and total = 25 in
+  let oc = open_out path in
+  let sink = Trace.create ~limit oc in
+  for i = 1 to total do
+    Trace.emit sink ~cycle:i "tick" [ ("i", J.Int i) ]
+  done;
+  Alcotest.(check int) "emitted caps at limit" limit (Trace.emitted sink);
+  Trace.close sink;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let lines = List.rev_map parse_ok !lines in
+  Alcotest.(check int) "exactly limit + 1 lines" (limit + 1)
+    (List.length lines);
+  let truncs =
+    List.filter
+      (fun l ->
+        Option.bind (J.member "ev" l) J.to_string_opt = Some "truncated")
+      lines
+  in
+  Alcotest.(check int) "exactly one truncated record" 1 (List.length truncs);
+  Alcotest.(check (option int)) "dropped count exact" (Some (total - limit))
+    (Option.bind (J.member "dropped" (List.hd truncs)) J.to_int_opt)
 
 let test_trace_untruncated () =
   let path = Filename.temp_file "srp_obs_trace" ".jsonl" in
@@ -487,12 +551,16 @@ let suite =
     Alcotest.test_case "stats: counters" `Quick test_stats_counters;
     Alcotest.test_case "stats: timer + report + reset" `Quick
       test_stats_timer_and_report;
+    Alcotest.test_case "stats: parallel scopes use wall clock" `Quick
+      test_stats_parallel_no_double_count;
     Alcotest.test_case "site_hist: basics" `Quick test_site_hist_basics;
     Alcotest.test_case "attribution: gzip sums = counters" `Quick
       (test_attribution_sums "gzip");
     Alcotest.test_case "attribution: mcf sums = counters" `Quick
       (test_attribution_sums "mcf");
     Alcotest.test_case "trace: bounded" `Quick test_trace_bounded;
+    Alcotest.test_case "trace: exact truncation record" `Quick
+      test_trace_truncation_exact;
     Alcotest.test_case "trace: under limit" `Quick test_trace_untruncated;
     Alcotest.test_case "ablation: names round-trip" `Quick
       test_ablation_names_roundtrip;

@@ -122,6 +122,87 @@ let test_batch () =
     Alcotest.(check bool) "nonzero stage misses" true (int_field "misses" c > 0)
   | None -> Alcotest.fail "summary lacks cache block"
 
+(* Span accounting across a batch (the serve instrumentation): every
+   executed job emits a serve.job span; deduped resubmissions add only
+   enqueue/dedup instants, so the span count tracks unique work, not
+   batch size.  Installing a tracer around the daemon is exactly what
+   `srp serve --trace-spans` does — serve must use it rather than its
+   own, and must leave it installed. *)
+let test_serve_spans () =
+  let module Span = Srp_obs.Span in
+  let tracer = Span.create () in
+  Span.install tracer;
+  Fun.protect ~finally:Span.uninstall @@ fun () ->
+  let job ret = Fmt.str {|{"source": "int main() { return %d; }", "level": "O0"}|} ret in
+  let batch = [ job 1; job 1; job 1; job 2 ] in
+  let responses, failed = serve_batch batch in
+  Alcotest.(check int) "no failures" 0 failed;
+  Alcotest.(check int) "all answered" (List.length batch + 1)
+    (List.length responses);
+  let count cat name =
+    List.fold_left
+      (fun acc (c, n, k, _) -> if c = cat && n = name then acc + k else acc)
+      0 (Span.totals tracer)
+  in
+  (* every executed job got a span; dedup kept the count at unique *)
+  Alcotest.(check int) "one serve.job span per unique job" 2
+    (count "serve" "serve.job");
+  Alcotest.(check int) "one enqueue instant per line" 4
+    (count "serve" "serve.enqueue");
+  Alcotest.(check int) "one dedup instant per resubmission" 2
+    (count "serve" "serve.dedup");
+  Alcotest.(check int) "one respond phase" 1 (count "serve" "serve.respond");
+  (* the unique jobs built their stages under the same tracer *)
+  Alcotest.(check bool) "stage spans recorded" true
+    (count "stage" "stage.lower" > 0);
+  (* a second identical batch grows the totals by the same amounts: span
+     volume is stable under dedup, not proportional to resubmissions *)
+  let before = count "serve" "serve.job" in
+  let _ = serve_batch (batch @ [ job 1; job 1 ]) in
+  Alcotest.(check int) "second batch adds its unique jobs only"
+    (before + 2)
+    (count "serve" "serve.job")
+
+(* the summary's latency percentiles and per-stage breakdown *)
+let test_serve_summary_breakdown () =
+  let responses, failed =
+    serve_batch
+      [ {|{"source": "int main() { return 1; }", "level": "O0"}|};
+        {|{"source": "int main() { return 2; }", "level": "baseline"}|};
+        {|{"source": "int main() { return 2; }", "level": "baseline"}|} ]
+  in
+  Alcotest.(check int) "no failures" 0 failed;
+  let s = List.nth responses 3 in
+  Alcotest.(check string) "summary type" "summary" (str_field "type" s);
+  (match Json.member "latency" s with
+  | Some lat ->
+    let f name =
+      match Option.bind (Json.member name lat) Json.to_float_opt with
+      | Some v -> v
+      | None -> Alcotest.failf "missing latency field %S" name
+    in
+    let p50 = f "p50_secs" and p95 = f "p95_secs" and mx = f "max_secs" in
+    Alcotest.(check bool) "percentiles ordered" true
+      (p50 > 0.0 && p50 <= p95 && p95 <= mx)
+  | None -> Alcotest.fail "summary lacks latency block");
+  match Json.member "stages" s with
+  | Some (Json.Obj stages) ->
+    (* every pipeline stage ran at least once for O0+baseline builds *)
+    List.iter
+      (fun stage ->
+        match List.assoc_opt stage stages with
+        | Some row ->
+          Alcotest.(check bool) (stage ^ " built") true
+            (int_field "builds" row > 0);
+          Alcotest.(check bool) (stage ^ " wall time") true
+            (match Option.bind (Json.member "wall_secs" row) Json.to_float_opt with
+            | Some v -> v >= 0.0
+            | None -> false)
+        | None -> Alcotest.failf "summary stages lack %S" stage)
+      [ "lower"; "apply-input"; "promote"; "select"; "regalloc"; "layout";
+        "bundle" ]
+  | _ -> Alcotest.fail "summary lacks stages block"
+
 (* a registered workload through the daemon matches the direct pipeline *)
 let test_workload_job () =
   let responses, failed =
@@ -196,6 +277,10 @@ let test_soak () =
 
 let suite =
   [ Alcotest.test_case "batch: order, dedup, stats, summary" `Quick test_batch;
+    Alcotest.test_case "spans: one per unique job, stable under dedup" `Quick
+      test_serve_spans;
+    Alcotest.test_case "summary: latency percentiles + stage breakdown" `Quick
+      test_serve_summary_breakdown;
     Alcotest.test_case "workload job matches direct pipeline" `Slow
       test_workload_job;
     Alcotest.test_case
