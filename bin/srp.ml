@@ -90,6 +90,13 @@ let no_split_arg =
                  instead of hole-aware live ranges with splitting, for \
                  A/B-ing the allocator upgrade")
 
+let no_pressure_arg =
+  Arg.(value & flag
+       & info [ "no-pressure" ]
+           ~doc:"disable the pressure-aware promotion gate and promote \
+                 every profitable candidate (the pre-cost-model behavior), \
+                 for A/B-ing the spill-cost model")
+
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -175,14 +182,15 @@ let workload_of_file path =
     source = read_file path; train = []; ref_ = [] }
 
 let compile_cmd =
-  let run file level asm no_layout no_bundle no_split =
+  let run file level asm no_layout no_bundle no_split no_pressure =
     let w = workload_of_file file in
     let profile =
       match level with Pipeline.Alat -> Some (Pipeline.train_profile w) | _ -> None
     in
     let c =
       Pipeline.compile ?profile ~layout:(not no_layout)
-        ~bundle:(not no_bundle) ~split:(not no_split) ~input:[] w level
+        ~bundle:(not no_bundle) ~split:(not no_split)
+        ~pressure:(not no_pressure) ~input:[] w level
     in
     if asm then
       List.iter
@@ -202,7 +210,7 @@ let compile_cmd =
   in
   Cmd.v (Cmd.info "compile" ~doc:"compile a MiniC file and dump IR/assembly")
     Term.(const run $ file_arg $ level_arg $ asm_arg $ no_layout_arg
-          $ no_bundle_arg $ no_split_arg)
+          $ no_bundle_arg $ no_split_arg $ no_pressure_arg)
 
 let no_cache_arg =
   Arg.(value & flag
@@ -213,7 +221,7 @@ let no_cache_arg =
 
 let run_cmd =
   let run file level ablations json trace trace_spans timeline
-      timeline_interval no_layout no_bundle no_split no_cache =
+      timeline_interval no_layout no_bundle no_split no_pressure no_cache =
     let w = workload_of_file file in
     let pcr =
       if no_cache then Pipeline.profile_compile_run_monolithic
@@ -225,7 +233,7 @@ let run_cmd =
               with_trace trace (fun trace ->
                   pcr ?trace ?timeline ~ablations
                     ~layout:(not no_layout) ~bundle:(not no_bundle)
-                    ~split:(not no_split) w level)))
+                    ~split:(not no_split) ~pressure:(not no_pressure) w level)))
     in
     if json then
       Fmt.pr "%s@." (J.to_string ~indent:2 (Emit.run_json ~name:w.Workload.name r))
@@ -241,7 +249,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"compile and execute on the machine simulator")
     Term.(const run $ file_arg $ level_arg $ ablation_arg $ json_arg $ trace_arg
           $ trace_spans_arg $ timeline_arg $ timeline_interval_arg
-          $ no_layout_arg $ no_bundle_arg $ no_split_arg $ no_cache_arg)
+          $ no_layout_arg $ no_bundle_arg $ no_split_arg $ no_pressure_arg
+          $ no_cache_arg)
 
 let serve_cmd =
   let capacity_arg =

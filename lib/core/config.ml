@@ -29,27 +29,41 @@ type t = {
      the pointer and the data.  Off by default, matching the paper's
      implementation note in section 4. *)
   cascade : bool;
+  (* pressure-aware candidate selection: promote only while the projected
+     register demand stays under the RSE pool, or when a candidate's saved
+     load latency still beats its marginal spill cost above it. *)
+  pressure : bool;
+  pressure_threshold : int; (* RSE physical pool: stacks beyond this spill *)
+  lat_l1 : int; (* saved cycles per eliminated integer (L1) load *)
+  lat_fp : int; (* saved cycles per eliminated floating-point load *)
+  spill_cost : int;
+      (* integer class: RSE spill+fill cycles one claimed register costs
+         per overflowing call (the machine's rate: one cycle out, one
+         back).  Float class: memory spill round-trip per occurrence. *)
+  estimator : int; (* pressure-estimator version, fingerprinted *)
 }
 
 let conservative =
   { check_style = No_speculation; policy = Spec_never; control_spec = false;
-    use_invala = false; max_rounds = 3; cold_ratio = 0.05; cascade = false }
+    use_invala = false; max_rounds = 3; cold_ratio = 0.05; cascade = false;
+    pressure = true; pressure_threshold = 24; lat_l1 = 2; lat_fp = 9;
+    spill_cost = 2; estimator = 2 }
 
 (* The ORC -O3 baseline: conservative PRE plus software run-time
    disambiguation on scalars. *)
 let baseline = { conservative with check_style = Software }
 
 let alat ~profile =
-  { check_style = Alat; policy = Spec_profile profile; control_spec = true;
-    use_invala = true; max_rounds = 3; cold_ratio = 0.05; cascade = false }
+  { conservative with
+    check_style = Alat; policy = Spec_profile profile; control_spec = true;
+    use_invala = true }
 
 (* the section 2.4 extension enabled: *p promoted even when p itself is
    speculative, repaired by chk.a recovery routines *)
 let alat_cascade ~profile = { (alat ~profile) with cascade = true }
 
 let alat_heuristic =
-  { check_style = Alat; policy = Spec_heuristic; control_spec = false;
-    use_invala = false; max_rounds = 3; cold_ratio = 0.05; cascade = false }
+  { conservative with check_style = Alat; policy = Spec_heuristic }
 
 let pp_style ppf = function
   | No_speculation -> Fmt.string ppf "none"

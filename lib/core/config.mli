@@ -38,6 +38,23 @@ type t = {
           check becomes chk.a with a recovery routine reloading pointer and
           data (section 2.4, Figure 4).  Off by default, matching the
           paper's implementation note in section 4. *)
+  pressure : bool;
+      (** rank candidates by saved latency and stop promoting once the
+          projected register demand exceeds [pressure_threshold], unless
+          the candidate still pays for its marginal spill.  [false]
+          reproduces promote-everything exactly (the --no-pressure
+          ablation). *)
+  pressure_threshold : int;
+      (** the RSE physical pool (24 stacked registers): co-resident
+          frames growing past it turn promotions into spill/fill cycles *)
+  lat_l1 : int;  (** saved cycles per eliminated integer (L1-hit) load *)
+  lat_fp : int;  (** saved cycles per eliminated floating-point load *)
+  spill_cost : int;
+      (** over the threshold, the cycles one claimed register costs: per
+          overflowing call for the RSE-stacked integer class, per
+          occurrence (memory spill round-trip) for floats *)
+  estimator : int;
+      (** version tag of the pressure estimator, part of the content key *)
 }
 
 (** PRE register promotion with no speculation of any kind. *)

@@ -16,6 +16,19 @@ type result = {
   per_func : (string * Ssapre.stats) list;
 }
 
+(* Per-function register-pressure summary, produced by the backend's
+   allocator machinery (srp_core cannot see srp_target, so the driver
+   injects the estimator as a callback). *)
+type pressure = {
+  webs : int; (* allocation entities across both classes *)
+  peak_int : int;
+      (* projected co-resident stacked integer registers: the function's
+         own allocated frame plus the deepest partner frame — what the
+         RSE pool is actually charged while this function is live *)
+  peak_fp : int; (* the function's fp register count (not RSE-stacked) *)
+  spill_traffic : int; (* projected stacked registers beyond the RSE pool *)
+}
+
 let policy_of_config (prog : Program.t) (config : Config.t) : Srp_ssa.Spec_policy.t =
   let mode =
     match config.Config.policy with
@@ -31,10 +44,77 @@ let block_count_fn (config : Config.t) =
     fun ~func ~label_id -> Srp_profile.Alias_profile.block_count p ~func ~label_id
   | Config.Spec_never | Config.Spec_heuristic -> fun ~func:_ ~label_id:_ -> 0
 
-(* Promote every function of [prog] in place. *)
-let run ?(config = Config.baseline) (prog : Program.t) : result =
+(* Pressure-gated candidate selection (the vpr/twolf fix): assess every
+   candidate without editing, rank by weighted saved latency, and accept
+   greedily — free while the projected co-resident stack (estimator
+   projection + registers already claimed by accepted promotions, across
+   rounds) stays within the RSE pool.  Above the pool, an integer
+   candidate pays the RSE's marginal price: one more frame register costs
+   a spill plus a fill around every overflowing call while the function
+   is resident, so the saved load latency must beat
+   [spill_cost x overflow_calls] — the dynamic call traffic the driver's
+   caller measured from the training profile — not a per-occurrence
+   charge (a load eliminated a thousand times per call amortizes its
+   register; a once-per-call load does not).  Float candidates are not
+   RSE-stacked; past the threshold they keep the occurrence-weighted
+   memory-spill comparison (lat_fp beats a spill round-trip, so fp
+   promotion stays profitable, matching the paper's fp-heavy kernels).
+   Accepted candidates commit through the unchanged [run_expr] in
+   original candidate order, so temp and site generation stay
+   deterministic. *)
+let select_gated (config : Config.t) cm_ctx collect f keys ~(est : pressure)
+    ~(overflow_calls : int) ~(claimed : int ref * int ref) stats : unit =
+  let assessed =
+    List.mapi (fun i key -> (i, key, Ssapre.assess cm_ctx collect f key)) keys
+  in
+  let ranked =
+    List.stable_sort
+      (fun (_, _, a) (_, _, b) ->
+        Int.compare b.Ssapre.as_benefit a.Ssapre.as_benefit)
+      assessed
+  in
+  let ci, cf = claimed in
+  let accepted = Hashtbl.create 8 in
+  List.iter
+    (fun (i, key, asmt) ->
+      if asmt.Ssapre.as_work then begin
+        let counter, base, spill_occ =
+          match Srp_ssa.Spec_policy.latency_class key.Expr.mty with
+          | Srp_ssa.Spec_policy.Lat_l1 -> (ci, est.peak_int, overflow_calls)
+          | Srp_ssa.Spec_policy.Lat_fp -> (cf, est.peak_fp, asmt.Ssapre.as_occ)
+        in
+        let projected = base + !counter + 1 in
+        if
+          projected <= config.Config.pressure_threshold
+          || asmt.Ssapre.as_benefit > config.Config.spill_cost * spill_occ
+        then begin
+          incr counter;
+          Hashtbl.replace accepted i ()
+        end
+      end)
+    ranked;
+  List.iteri
+    (fun i key ->
+      if Hashtbl.mem accepted i then Ssapre.run_expr cm_ctx collect f key stats)
+    keys
+
+(* Promote every function of [prog] in place.  [pressure] is the
+   per-function estimator callback; the gate is active only when both the
+   config enables it and a callback is supplied — otherwise the behavior
+   is bit-identical to promote-everything. *)
+let run ?(config = Config.baseline) ?pressure (prog : Program.t) : result =
   let total = Ssapre.empty_stats () in
   let per_func = Hashtbl.create 8 in
+  let estimator = if config.Config.pressure then pressure else None in
+  let claimed : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 8 in
+  let claimed_for f =
+    match Hashtbl.find_opt claimed (Func.name f) with
+    | Some c -> c
+    | None ->
+      let c = (ref 0, ref 0) in
+      Hashtbl.replace claimed (Func.name f) c;
+      c
+  in
   let func_stats f =
     match Hashtbl.find_opt per_func (Func.name f) with
     | Some s -> s
@@ -46,6 +126,33 @@ let run ?(config = Config.baseline) (prog : Program.t) : result =
   let cm_ctx =
     { Ssapre.config; profile_hot = block_count_fn config;
       site_gen = prog.Program.site_gen }
+  in
+  (* Dynamic RSE-overflow proxy per function: the RSE spills and fills a
+     resident frame around every overflowing call beneath it, so a leaf
+     pays at its own entry count while a caller's frame is churned by its
+     descendants' calls.  Without a call graph, charge call-making
+     functions the busiest entry count in the program (their descendants
+     can only be among those functions).  Training counts, the same unit
+     the benefit side is weighted in; [max 1] keeps the comparison
+     static-per-occurrence under the profile-free policies. *)
+  let entry_count f =
+    cm_ctx.Ssapre.profile_hot ~func:(Func.name f)
+      ~label_id:(Label.id (Func.entry f))
+  in
+  let max_entry =
+    List.fold_left (fun acc f -> max acc (entry_count f)) 0 (Program.funcs prog)
+  in
+  let overflow_calls f =
+    let makes_calls =
+      List.exists
+        (fun b ->
+          List.exists
+            (function Instr.Call _ -> true | _ -> false)
+            b.Block.instrs)
+        (Func.blocks f)
+    in
+    let own = entry_count f in
+    max 1 (if makes_calls then max own max_entry else own)
   in
   let module Stats = Srp_obs.Stats in
   let continue_ = ref true in
@@ -73,9 +180,17 @@ let run ?(config = Config.baseline) (prog : Program.t) : result =
                   cascade = config.Config.cascade; cfg }
               in
               let before = (func_stats f).Ssapre.exprs_promoted in
-              List.iter
-                (fun key -> Ssapre.run_expr cm_ctx collect f key (func_stats f))
-                keys;
+              (match Option.bind estimator (fun e -> e (Func.name f)) with
+              | Some est ->
+                select_gated config cm_ctx collect f keys ~est
+                  ~overflow_calls:(overflow_calls f) ~claimed:(claimed_for f)
+                  (func_stats f)
+              | None ->
+                (* no gate (or no estimate for this function): the exact
+                   legacy promote-everything path *)
+                List.iter
+                  (fun key -> Ssapre.run_expr cm_ctx collect f key (func_stats f))
+                  keys);
               if (func_stats f).Ssapre.exprs_promoted > before then
                 round_work := true
             end)

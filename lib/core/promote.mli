@@ -17,9 +17,31 @@ type result = {
   per_func : (string * Ssapre.stats) list;
 }
 
-(** [run ~config prog] promotes every function of [prog] in place and
-    returns the statistics.  Defaults to {!Config.baseline}. *)
-val run : ?config:Config.t -> Srp_ir.Program.t -> result
+(** Per-function register-pressure summary fed back from the backend's
+    allocator (injected by the driver — srp_core cannot depend on
+    srp_target). *)
+type pressure = {
+  webs : int;  (** allocation entities across both classes *)
+  peak_int : int;  (** must-reside integer peak, stack pointer included *)
+  peak_fp : int;
+  spill_traffic : int;  (** projected registers beyond the RSE pool *)
+}
+
+(** [run ~config ~pressure prog] promotes every function of [prog] in
+    place and returns the statistics.  Defaults to {!Config.baseline}.
+
+    [pressure] maps a function name to its register-pressure estimate;
+    when supplied and [config.pressure] is set, candidates are ranked by
+    weighted saved load latency and promoted only while the projected
+    class pressure stays within [config.pressure_threshold] — above it a
+    candidate must still out-pay its spill round-trip.  Without the
+    callback (or with [config.pressure = false], the --no-pressure
+    ablation) promotion is bit-identical to promote-everything. *)
+val run :
+  ?config:Config.t ->
+  ?pressure:(string -> pressure option) ->
+  Srp_ir.Program.t ->
+  result
 
 (**/**)
 

@@ -529,8 +529,18 @@ type codemotion_ctx = {
   site_gen : Site.Gen.t;
 }
 
-let run_expr (ctx : codemotion_ctx) (collect : Expr.collect_ctx) (f : Func.t)
-    (key : Expr.key) (stats : stats) : unit =
+(* The analysis half of [run_expr]: everything up to (and including) the
+   any-work decision, with no edits, no fresh temps and no fresh sites —
+   safe to run purely for candidate ranking and discard. *)
+type prepared = {
+  p_a : analysis;
+  p_insert_edges : (int * phi) list;
+  p_invala_edges : (int * phi) list;
+  p_any_work : bool;
+}
+
+let prepare (ctx : codemotion_ctx) (collect : Expr.collect_ctx) (f : Func.t)
+    (key : Expr.key) : prepared =
   let cfg = collect.Expr.cfg in
   let dom = Dominance.compute cfg in
   let n = Cfg.num_nodes cfg in
@@ -625,7 +635,61 @@ let run_expr (ctx : codemotion_ctx) (collect : Expr.collect_ctx) (f : Func.t)
   let any_work =
     List.exists (fun v -> v.v_uses <> []) a.versions
   in
-  if any_work then begin
+  { p_a = a; p_insert_edges = !insert_edges; p_invala_edges = !invala_edges;
+    p_any_work = any_work }
+
+(* Weighted promotion benefit of a prepared candidate: per eliminable use,
+   the load latency its class saves (2-cycle L1 for integers, 9 cycles for
+   floats), scaled by the training execution count of the use's block when
+   a profile is available.  [as_occ] is the matching dynamic occurrence
+   estimate, the unit the spill side of the ledger is charged in. *)
+type assessment = {
+  as_benefit : int;
+  as_occ : int;
+  as_work : bool;
+}
+
+let assess (ctx : codemotion_ctx) (collect : Expr.collect_ctx) (f : Func.t)
+    (key : Expr.key) : assessment =
+  let p = prepare ctx collect f key in
+  let a = p.p_a in
+  let fname = Func.name f in
+  let block_count node =
+    ctx.profile_hot ~func:fname ~label_id:(Label.id (Cfg.label a.cfg node))
+  in
+  let policy = collect.Expr.policy in
+  let lat =
+    match Srp_ssa.Spec_policy.latency_class key.Expr.mty with
+    | Srp_ssa.Spec_policy.Lat_l1 -> ctx.config.Config.lat_l1
+    | Srp_ssa.Spec_policy.Lat_fp -> ctx.config.Config.lat_fp
+  in
+  let benefit = ref 0 in
+  let occ = ref 0 in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (node, _, _) ->
+          let w =
+            Srp_ssa.Spec_policy.occurrence_weight policy
+              ~block_count:(block_count node)
+          in
+          occ := !occ + w;
+          benefit := !benefit + (w * lat))
+        v.v_uses)
+    a.versions;
+  { as_benefit = !benefit; as_occ = !occ; as_work = p.p_any_work }
+
+(* The rewriting half: commit a prepared candidate's edits to the
+   function.  Must run against the same function state [prepare] saw. *)
+let codemotion (ctx : codemotion_ctx) (_collect : Expr.collect_ctx)
+    (f : Func.t) (key : Expr.key) (stats : stats) (p : prepared) : unit =
+  let a = p.p_a in
+  let cfg = a.cfg in
+  let dom = a.dom in
+  let n = Cfg.num_nodes cfg in
+  let insert_edges = ref p.p_insert_edges in
+  let invala_edges = ref p.p_invala_edges in
+  if p.p_any_work then begin
     stats.exprs_promoted <- stats.exprs_promoted + 1;
     let mty = key.Expr.mty in
     let addr = Expr.addr_of_key key in
@@ -826,3 +890,7 @@ let run_expr (ctx : codemotion_ctx) (collect : Expr.collect_ctx) (f : Func.t)
       a.versions;
     apply_edits cfg edits
   end
+
+let run_expr (ctx : codemotion_ctx) (collect : Expr.collect_ctx) (f : Func.t)
+    (key : Expr.key) (stats : stats) : unit =
+  codemotion ctx collect f key stats (prepare ctx collect f key)

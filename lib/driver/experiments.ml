@@ -158,7 +158,10 @@ let compare_configs ?fuel ~(mk_a : Srp_profile.Alias_profile.t -> Srp_core.Confi
         let ir = Srp_frontend.Lower.compile_source w.Workload.source in
         Workload.apply_input ir w.Workload.ref_;
         (match mk profile with
-        | Some config -> ignore (Srp_core.Promote.run ~config ir)
+        | Some config ->
+          ignore
+            (Srp_core.Promote.run ~config ~pressure:(Pipeline.pressure_fn ir)
+               ir)
         | None -> ());
         let target = Srp_target.Codegen.gen_program ir in
         Srp_machine.Machine.run_program ?fuel target

@@ -94,6 +94,66 @@ type compiled = {
   promote : Srp_core.Promote.result option;
 }
 
+(* Per-function pressure estimator handed to the promoter (srp_core cannot
+   see srp_target, so the driver closes the loop): instruction selection
+   plus a discarded allocator run over every function, snapshotted in one
+   pass at the first request.  The first request arrives before any
+   candidate commits, so every frame is the pristine unpromoted one and
+   the snapshot is promotion-order independent; later rounds reuse it.
+
+   [peak_int] is the projected co-resident stacked-register demand: the
+   function's own allocated frame plus the largest other frame in the
+   program — the two-deep call-stack model (main + one leaf at a time)
+   that matches these kernels' measured max_stacked_regs exactly.  The
+   RSE spills whole co-resident stacks, so a function whose own frame
+   looks modest is still over budget when it sits under (or over) a fat
+   partner frame.  Always computed against the default (hole-aware)
+   policy — the estimate feeds the promote stage, whose content key must
+   not depend on the downstream --no-split setting. *)
+let pressure_fn (prog : Program.t) :
+    string -> Srp_core.Promote.pressure option =
+  let memo : (string, Srp_core.Promote.pressure option) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let snapshot () =
+    let open Srp_target in
+    let ests =
+      List.map
+        (fun f ->
+          let s = Codegen.select_func f in
+          ( Func.name f,
+            Regalloc.estimate
+              { Regalloc.code = s.Codegen.sel_code;
+                nivregs = s.Codegen.sel_nivregs;
+                nfvregs = s.Codegen.sel_nfvregs;
+                live_in = s.Codegen.sel_live_in;
+                flive_in = s.Codegen.sel_flive_in;
+                pinned = s.Codegen.sel_pinned;
+                fpinned = s.Codegen.sel_fpinned;
+                spill_base = s.Codegen.sel_frame_bytes } ))
+        (Program.funcs prog)
+    in
+    List.iter
+      (fun (name, e) ->
+        let partner =
+          List.fold_left
+            (fun acc (n, o) ->
+              if n = name then acc else max acc o.Regalloc.est_frame_int)
+            0 ests
+        in
+        let stacked = e.Regalloc.est_frame_int + partner in
+        Hashtbl.replace memo name
+          (Some
+             { Srp_core.Promote.webs = e.Regalloc.est_webs;
+               peak_int = stacked;
+               peak_fp = e.Regalloc.est_frame_fp;
+               spill_traffic = max 0 (stacked - 24) }))
+      ests
+  in
+  fun name ->
+    if Hashtbl.length memo = 0 then snapshot ();
+    match Hashtbl.find_opt memo name with Some r -> r | None -> None
+
 (* --- the staged pipeline --- *)
 
 (* Each stage helper returns (key, artifact-payload).  [cache] is an
@@ -168,7 +228,9 @@ let promote_stage cache ~(applied_key : string) (applied : Program.t)
              | None -> Stage.Applied applied
              | Some config ->
                let ir = Program.clone applied in
-               let result = Srp_core.Promote.run ~config ir in
+               let result =
+                 Srp_core.Promote.run ~config ~pressure:(pressure_fn ir) ir
+               in
                Stage.Promoted (ir, Some result)))
   in
   let ir, result = Stage.as_promoted art in
@@ -236,17 +298,23 @@ let train_profile ?cache (w : Workload.t) : Alias_profile.t =
    code generation (static data), the profile comes from the train run.
    [ablations] are config overrides on top of the level (no effect at O0,
    which runs no promotion at all).  [split:false] selects the
-   closed-interval allocator (the --no-split ablation). *)
+   closed-interval allocator (the --no-split ablation); [pressure:false]
+   turns the pressure gate off (the --no-pressure ablation, flowing
+   through the config so the promote content key records it). *)
 let compile ?cache ?profile ?(ablations = []) ?(layout = true)
-    ?(bundle = true) ?(split = true) ~(input : Workload.input)
-    (w : Workload.t) (level : level) : compiled =
+    ?(bundle = true) ?(split = true) ?(pressure = true)
+    ~(input : Workload.input) (w : Workload.t) (level : level) : compiled =
   let lower_key, lowered = lower_stage cache w.Workload.source in
   let applied_key, applied = apply_stage cache ~lower_key lowered input in
   let config =
     match config_of_level level profile with
     | None -> None
     | Some config ->
-      Some (List.fold_left (Fun.flip apply_ablation) config ablations)
+      let config = List.fold_left (Fun.flip apply_ablation) config ablations in
+      Some
+        { config with
+          Srp_core.Config.pressure = config.Srp_core.Config.pressure && pressure
+        }
   in
   let promote_key, ir, promote =
     promote_stage cache ~applied_key applied config
@@ -280,7 +348,7 @@ let run ?fuel ?trace ?timeline (c : compiled) : run_result =
    builds, so parse/lower fires once per distinct source (the seed path
    lowered the same source twice per alat run). *)
 let profile_compile_run ?fuel ?trace ?timeline ?cache ?ablations ?layout
-    ?bundle ?split (w : Workload.t) (level : level) : run_result =
+    ?bundle ?split ?pressure (w : Workload.t) (level : level) : run_result =
   let cache =
     match cache with Some c -> c | None -> Stage.create ~capacity:16 ()
   in
@@ -290,7 +358,7 @@ let profile_compile_run ?fuel ?trace ?timeline ?cache ?ablations ?layout
     | O0 | Conservative | Baseline | Alat_heuristic -> None
   in
   let c =
-    compile ~cache ?profile ?ablations ?layout ?bundle ?split
+    compile ~cache ?profile ?ablations ?layout ?bundle ?split ?pressure
       ~input:w.Workload.ref_ w level
   in
   run ?fuel ?trace ?timeline c
@@ -311,8 +379,8 @@ let train_profile_monolithic (w : Workload.t) : Alias_profile.t =
   Srp_profile.Interp.profile interp
 
 let compile_monolithic ?profile ?(ablations = []) ?(layout = true)
-    ?(bundle = true) ?(split = true) ~(input : Workload.input)
-    (w : Workload.t) (level : level) : compiled =
+    ?(bundle = true) ?(split = true) ?(pressure = true)
+    ~(input : Workload.input) (w : Workload.t) (level : level) : compiled =
   let ir = Srp_frontend.Lower.compile_source w.Workload.source in
   Workload.apply_input ir input;
   let promote =
@@ -320,7 +388,12 @@ let compile_monolithic ?profile ?(ablations = []) ?(layout = true)
     | None -> None
     | Some config ->
       let config = List.fold_left (Fun.flip apply_ablation) config ablations in
-      Some (Srp_core.Promote.run ~config ir)
+      let config =
+        { config with
+          Srp_core.Config.pressure = config.Srp_core.Config.pressure && pressure
+        }
+      in
+      Some (Srp_core.Promote.run ~config ~pressure:(pressure_fn ir) ir)
   in
   let ra =
     if split then Srp_target.Regalloc.default_policy
@@ -330,14 +403,14 @@ let compile_monolithic ?profile ?(ablations = []) ?(layout = true)
   { level; ablations; split; ir; target; promote }
 
 let profile_compile_run_monolithic ?fuel ?trace ?timeline ?ablations ?layout
-    ?bundle ?split (w : Workload.t) (level : level) : run_result =
+    ?bundle ?split ?pressure (w : Workload.t) (level : level) : run_result =
   let profile =
     match level with
     | Alat -> Some (train_profile_monolithic w)
     | O0 | Conservative | Baseline | Alat_heuristic -> None
   in
   let c =
-    compile_monolithic ?profile ?ablations ?layout ?bundle ?split
+    compile_monolithic ?profile ?ablations ?layout ?bundle ?split ?pressure
       ~input:w.Workload.ref_ w level
   in
   run ?fuel ?trace ?timeline c

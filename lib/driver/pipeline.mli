@@ -63,6 +63,14 @@ type compiled = {
   promote : Srp_core.Promote.result option;
 }
 
+(** The per-function register-pressure estimator the promote stage feeds
+    to {!Srp_core.Promote.run}: instruction selection plus the
+    allocator's analysis prefix ({!Srp_target.Regalloc.estimate}) over
+    the named function's current body, memoized by name.  Exposed so the
+    differential tests can drive {!Srp_core.Promote.run} exactly as the
+    pipeline does. *)
+val pressure_fn : Program.t -> string -> Srp_core.Promote.pressure option
+
 (** Compile a workload at a level; [input] (usually the ref input) is baked
     into the global initializers before promotion and code generation.
     [ablations] override the level's promotion config (no effect at O0).
@@ -71,9 +79,13 @@ type compiled = {
     (default on) packs the laid-out code into IA-64 3-slot bundles so the
     machine fetches bundle-wise; off = flat instruction stream.  [split]
     (default on) selects the hole-aware live-range allocator; off falls
-    back to one closed interval per vreg.  [cache] shares stage artifacts
-    with other builds; without it the stages still run (one lower, clones
-    before mutation) but retain nothing. *)
+    back to one closed interval per vreg.  [pressure] (default on) keeps
+    the pressure-aware candidate gate in the promoter; off is the
+    [--no-pressure] ablation, reproducing promote-everything exactly (it
+    flows through the config, so the promote content key records it).
+    [cache] shares stage artifacts with other builds; without it the
+    stages still run (one lower, clones before mutation) but retain
+    nothing. *)
 val compile :
   ?cache:Stage.store ->
   ?profile:Srp_profile.Alias_profile.t ->
@@ -81,6 +93,7 @@ val compile :
   ?layout:bool ->
   ?bundle:bool ->
   ?split:bool ->
+  ?pressure:bool ->
   input:Workload.input ->
   Workload.t ->
   level ->
@@ -112,6 +125,7 @@ val profile_compile_run :
   ?layout:bool ->
   ?bundle:bool ->
   ?split:bool ->
+  ?pressure:bool ->
   Workload.t ->
   level ->
   run_result
@@ -130,6 +144,7 @@ val compile_monolithic :
   ?layout:bool ->
   ?bundle:bool ->
   ?split:bool ->
+  ?pressure:bool ->
   input:Workload.input ->
   Workload.t ->
   level ->
@@ -143,6 +158,7 @@ val profile_compile_run_monolithic :
   ?layout:bool ->
   ?bundle:bool ->
   ?split:bool ->
+  ?pressure:bool ->
   Workload.t ->
   level ->
   run_result

@@ -31,6 +31,7 @@ type job = {
   j_layout : bool;
   j_bundle : bool;
   j_split : bool;
+  j_pressure : bool;
   j_fuel : int option;
 }
 
@@ -39,13 +40,13 @@ type job = {
    say — the second is answered from the first's result. *)
 let job_key (j : job) : string =
   Stage.Key.digest
-    ([ "serve-job"; "v1"; j.j_w.Workload.source;
+    ([ "serve-job"; "v2"; j.j_w.Workload.source;
        Marshal.to_string j.j_w.Workload.train [];
        Marshal.to_string j.j_w.Workload.ref_ [];
        Pipeline.level_name j.j_level ]
     @ List.map Pipeline.ablation_name j.j_ablations
     @ [ string_of_bool j.j_layout; string_of_bool j.j_bundle;
-        string_of_bool j.j_split;
+        string_of_bool j.j_split; string_of_bool j.j_pressure;
         (match j.j_fuel with None -> "" | Some f -> string_of_int f) ])
 
 let ( let* ) = Result.bind
@@ -108,6 +109,7 @@ let parse_job ~(lookup : string -> Workload.t option) ~(line_no : int)
     let* layout = bool_field ~default:true "layout" js in
     let* bundle = bool_field ~default:true "bundle" js in
     let* split = bool_field ~default:true "split" js in
+    let* pressure = bool_field ~default:true "pressure" js in
     let* fuel =
       match Json.member "fuel" js with
       | None -> Ok None
@@ -117,7 +119,8 @@ let parse_job ~(lookup : string -> Workload.t option) ~(line_no : int)
         | _ -> Error "field \"fuel\" must be a positive integer")
     in
     Ok { j_id = id; j_w = w; j_level = level; j_ablations = ablations;
-         j_layout = layout; j_bundle = bundle; j_split = split; j_fuel = fuel }
+         j_layout = layout; j_bundle = bundle; j_split = split;
+         j_pressure = pressure; j_fuel = fuel }
   in
   (id, job)
 
@@ -135,7 +138,7 @@ let run_job ~cache ~key (j : job) : Pipeline.run_result * Stats.Scope.t =
       Stats.with_scope (fun () ->
           Pipeline.profile_compile_run ?fuel:j.j_fuel ~cache
             ~ablations:j.j_ablations ~layout:j.j_layout ~bundle:j.j_bundle
-            ~split:j.j_split j.j_w j.j_level))
+            ~split:j.j_split ~pressure:j.j_pressure j.j_w j.j_level))
 
 let result_json (j : job) ~key ~deduped (r : Pipeline.run_result)
     (scope : Stats.Scope.t) : Json.t =
@@ -175,7 +178,7 @@ let summary_json ~jobs ~unique ~errors ~deduped ~wall_secs
     if wall_secs > 0.0 then float_of_int unique /. wall_secs else 0.0
   in
   let sorted = Array.copy latencies in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   Json.Obj
     [ ("type", Json.String "summary");
       ("schema", Json.String "srp-serve-v1");

@@ -83,13 +83,22 @@ module Key = struct
       | Srp_core.Config.Spec_profile p ->
         "profile:" ^ Digest.to_hex (Digest.string (Alias_profile.save p))
     in
+    (* "v2": the pressure-gate parameters joined the config.  Every knob
+       that can change the promoter's output must be here, or a tuned
+       threshold could be served a stale cached promote artifact. *)
     digest
-      [ "config"; "v1"; style; policy;
+      [ "config"; "v2"; style; policy;
         string_of_bool c.Srp_core.Config.control_spec;
         string_of_bool c.Srp_core.Config.use_invala;
         string_of_int c.Srp_core.Config.max_rounds;
         Printf.sprintf "%h" c.Srp_core.Config.cold_ratio;
-        string_of_bool c.Srp_core.Config.cascade ]
+        string_of_bool c.Srp_core.Config.cascade;
+        string_of_bool c.Srp_core.Config.pressure;
+        string_of_int c.Srp_core.Config.pressure_threshold;
+        string_of_int c.Srp_core.Config.lat_l1;
+        string_of_int c.Srp_core.Config.lat_fp;
+        string_of_int c.Srp_core.Config.spill_cost;
+        string_of_int c.Srp_core.Config.estimator ]
 
   let promote ~(applied_key : string) ~(config : string) =
     digest [ "promote"; "v1"; applied_key; config ]

@@ -577,6 +577,56 @@ let color_slots (spilled : entity list) : int =
    spills: per-site attribution sums stay equal to the global counters. *)
 let spill_site = -1
 
+(* remat candidacy: a plain entity whose only def recomputes a value
+   that is constant within the function (frame address, global address,
+   immediate) — safe to re-emit at any later pc *)
+let mark_remat (inp : input) (defs : int list array) (ents : entity list) :
+    unit =
+  let ni = inp.nivregs in
+  List.iter
+    (fun e ->
+      if (not e.e_nospill) && e.e_vreg < ni then begin
+        let v = e.e_vreg in
+        let dpcs =
+          List.concat_map
+            (fun p ->
+              let l = ref [] in
+              for pc = p.p_lo to p.p_hi do
+                if List.mem v defs.(pc) then l := pc :: !l
+              done;
+              !l)
+            e.e_pieces
+        in
+        match dpcs with
+        | [ d ] -> (
+          match inp.code.(d) with
+          | Insn.Alu { op = Insn.Aadd; dst; a = Insn.SReg 0; b = Insn.SImm _ }
+            when dst = v ->
+            e.e_remat <- Some inp.code.(d)
+          | Insn.Gaddr { dst; _ } when dst = v -> e.e_remat <- Some inp.code.(d)
+          | Insn.Movl { dst; _ } when dst = v -> e.e_remat <- Some inp.code.(d)
+          | _ -> ())
+        | _ -> ()
+      end)
+    ents
+
+(* the must-reside peak: pressure from entities that cannot remat.
+   The file is sized by this; remat candidates above it recompute. *)
+let peak_of ~n (ents0 : entity list) : int =
+  let peak = ref 0 in
+  for pc = 0 to n - 1 do
+    let c = ref 0 in
+    List.iter
+      (fun e ->
+        if
+          e.e_remat = None
+          && List.exists (fun p -> p.p_lo <= pc && pc <= p.p_hi) e.e_pieces
+        then incr c)
+      ents0;
+    if !c > !peak then peak := !c
+  done;
+  !peak
+
 let run ?(policy = default_policy) (inp : input) : result =
   let n = Array.length inp.code in
   let ni = inp.nivregs in
@@ -589,58 +639,9 @@ let run ?(policy = default_policy) (inp : input) : result =
   let ients = List.filter (fun e -> e.e_vreg < ni) ents in
   let fents = List.filter (fun e -> e.e_vreg >= ni) ents in
   let allow_spill = policy.mode = Holes in
-  (* remat candidacy: a plain entity whose only def recomputes a value
-     that is constant within the function (frame address, global address,
-     immediate) — safe to re-emit at any later pc *)
-  if allow_spill then
-    List.iter
-      (fun e ->
-        if (not e.e_nospill) && e.e_vreg < ni then begin
-          let v = e.e_vreg in
-          let dpcs =
-            List.concat_map
-              (fun p ->
-                let l = ref [] in
-                for pc = p.p_lo to p.p_hi do
-                  if List.mem v defs.(pc) then l := pc :: !l
-                done;
-                !l)
-              e.e_pieces
-          in
-          match dpcs with
-          | [ d ] -> (
-            match inp.code.(d) with
-            | Insn.Alu
-                { op = Insn.Aadd; dst; a = Insn.SReg 0; b = Insn.SImm _ }
-              when dst = v ->
-              e.e_remat <- Some inp.code.(d)
-            | Insn.Gaddr { dst; _ } when dst = v ->
-              e.e_remat <- Some inp.code.(d)
-            | Insn.Movl { dst; _ } when dst = v ->
-              e.e_remat <- Some inp.code.(d)
-            | _ -> ())
-          | _ -> ()
-        end)
-      ents;
-  (* the must-reside peak: pressure from entities that cannot remat.
-     The file is sized by this; remat candidates above it recompute. *)
-  let peak_of ents0 =
-    let peak = ref 0 in
-    for pc = 0 to n - 1 do
-      let c = ref 0 in
-      List.iter
-        (fun e ->
-          if
-            e.e_remat = None
-            && List.exists (fun p -> p.p_lo <= pc && pc <= p.p_hi) e.e_pieces
-          then incr c)
-        ents0;
-      if !c > !peak then peak := !c
-    done;
-    !peak
-  in
-  let ipeak = 1 + peak_of ients (* + the reserved stack pointer *) in
-  let fpeak = peak_of fents in
+  if allow_spill then mark_remat inp defs ents;
+  let ipeak = 1 + peak_of ~n ients (* + the reserved stack pointer *) in
+  let fpeak = peak_of ~n fents in
   let icount, ispilled =
     allocate_class ~reserve0:true ~cap:(max policy.cap_int 1) ~allow_spill
       ~remat_limit:(min (max policy.cap_int 1) ipeak)
@@ -983,3 +984,29 @@ let run ?(policy = default_policy) (inp : input) : result =
         remat_uses = !stats_remats };
     iassign;
     fassign }
+
+(* --- the pressure estimate consumed by the promoter --- *)
+
+type estimate = {
+  est_webs : int; (* allocation entities across both classes *)
+  est_frame_int : int;
+      (* the allocated integer frame: sp, spill scratch included — exactly
+         the [nregs] the RSE will be charged at every call *)
+  est_frame_fp : int;
+}
+
+(* What a function's frame will cost before promotion grows it: run the
+   allocator on the pristine selection and read the frame it actually
+   sizes.  The early must-reside peak (peak_of) systematically
+   undershoots the real file — remat candidates still occupy registers
+   up to the remat limit, allocation is piece-granular, and
+   memory-resident operands borrow scratch past the allocated file — and
+   the RSE is charged the real [nregs], so the real frame is the only
+   honest baseline for a spill-cost model.  One discarded allocation per
+   function, once per compile: noise next to promotion's per-round alias
+   analyses. *)
+let estimate ?(policy = default_policy) (inp : input) : estimate =
+  let res = run ~policy inp in
+  { est_webs = res.stats.webs;
+    est_frame_int = res.nregs;
+    est_frame_fp = res.nfregs }

@@ -277,6 +277,43 @@ let test_attribution_sums name () =
     Site_hist.all_events;
   Alcotest.(check bool) (name ^ " retired loads") true (c.C.loads_retired > 0)
 
+(* Attribution with the pressure gate actively capping: at a zero
+   register budget every candidate is over threshold, so only
+   promotions whose saved latency beats the spill cost survive (the
+   fp-load class) and the build runs with a mix of promoted and gated
+   sites.  The per-site histogram must still sum to the global counters
+   exactly — a gated site that kept a stale site id, or an edit applied
+   outside the accepted set, breaks the equality. *)
+let test_attribution_sums_gated () =
+  let w = Srp_workloads.Registry.find "mcf" in
+  let profile = Pipeline.train_profile w in
+  let build config =
+    let ir = Srp_frontend.Lower.compile_source w.Workload.source in
+    Workload.apply_input ir w.Workload.train;
+    let res =
+      Srp_core.Promote.run ~config ~pressure:(Pipeline.pressure_fn ir) ir
+    in
+    (res, Srp_target.Codegen.gen_program ir)
+  in
+  let alat = Srp_core.Config.alat ~profile in
+  let capped = { alat with Srp_core.Config.pressure_threshold = 0 } in
+  let full, _ = build alat in
+  let gated, target = build capped in
+  Alcotest.(check bool) "the capped gate rejected at least one promotion" true
+    (gated.Srp_core.Promote.stats.Srp_core.Ssapre.exprs_promoted
+    < full.Srp_core.Promote.stats.Srp_core.Ssapre.exprs_promoted);
+  let m = Srp_machine.Machine.create target in
+  let _ = Srp_machine.Machine.run m in
+  let c = Srp_machine.Machine.counters m in
+  let h = Srp_machine.Machine.site_stats m in
+  let field e = List.assoc (Site_hist.event_name e) (C.to_fields c) in
+  List.iter
+    (fun e ->
+      Alcotest.(check int)
+        (Fmt.str "capped mcf: site sum = global %s" (Site_hist.event_name e))
+        (field e) (Site_hist.total h e))
+    Site_hist.all_events
+
 (* --- trace sink --- *)
 
 let test_trace_bounded () =
@@ -558,6 +595,8 @@ let suite =
       (test_attribution_sums "gzip");
     Alcotest.test_case "attribution: mcf sums = counters" `Quick
       (test_attribution_sums "mcf");
+    Alcotest.test_case "attribution: pressure-capped sums = counters" `Quick
+      test_attribution_sums_gated;
     Alcotest.test_case "trace: bounded" `Quick test_trace_bounded;
     Alcotest.test_case "trace: exact truncation record" `Quick
       test_trace_truncation_exact;

@@ -13,10 +13,18 @@ let interp_reference src =
   let code, out, profile = Srp_profile.Interp.run_program prog in
   (code, out, profile)
 
-let machine_run ?(layout = true) ?(bundle = true) ?(split = true) src config =
+let machine_run ?(layout = true) ?(bundle = true) ?(split = true)
+    ?(pressure = false) src config =
   let prog = Srp_frontend.Lower.compile_source src in
   (match config with
-  | Some c -> ignore (Promote.run ~config:c prog)
+  | Some c ->
+    (* with the pressure axis on, feed the promoter the same regalloc
+       estimate the driver pipeline injects; off means no callback — the
+       promoter's legacy ungated path, exactly `srp --no-pressure` *)
+    let est =
+      if pressure then Some (Srp_driver.Pipeline.pressure_fn prog) else None
+    in
+    ignore (Promote.run ~config:c ?pressure:est prog)
   | None -> ());
   let ra =
     if split then Srp_target.Regalloc.default_policy
@@ -26,8 +34,8 @@ let machine_run ?(layout = true) ?(bundle = true) ?(split = true) src config =
   let code, out, _ = Srp_machine.Machine.run_program ~fuel:50_000_000 tgt in
   (code, out)
 
-let check_level ?layout ?bundle ?split src name expected config =
-  let code, out = machine_run ?layout ?bundle ?split src config in
+let check_level ?layout ?bundle ?split ?pressure src name expected config =
+  let code, out = machine_run ?layout ?bundle ?split ?pressure src config in
   if out <> snd expected || code <> fst expected then
     Alcotest.failf "%s diverged!\n--- source ---\n%s\n--- expected ---\n%s--- got ---\n%s"
       name src (snd expected) out
@@ -59,23 +67,28 @@ let run_seed seed =
   if out2 <> out then Alcotest.failf "conservative interp diverged for seed %d" seed
 
 (* every level crossed with the backend ablation axes:
-   {layout,bundle,split} on/off.  The failure message carries the
-   reproducing seed. *)
+   {layout,bundle,split,pressure} on/off.  Pressure-on runs the gated
+   promoter with the pipeline's regalloc estimate; pressure-off is the
+   legacy ungated path (`srp --no-pressure`).  Both must agree with the
+   interpreter bit for bit — the gate may promote less, never compute
+   differently.  The failure message carries the reproducing seed. *)
 let default_combos =
-  [ (true, true, true); (true, false, true); (false, true, true);
-    (false, false, true); (true, true, false); (false, false, false) ]
+  [ (true, true, true, true); (true, false, true, true);
+    (false, true, true, true); (false, false, true, true);
+    (true, true, false, true); (false, false, false, true);
+    (true, true, true, false); (false, false, false, false) ]
 
 let run_seed_matrix ?(combos = default_combos) seed =
   let src = Gen_minic.program ~seed () in
   let code, out, profile = interp_reference src in
   let expected = (code, out) in
   List.iter
-    (fun (layout, bundle, split) ->
+    (fun (layout, bundle, split, pressure) ->
       List.iter
         (fun (name, config) ->
-          check_level ~layout ~bundle ~split src
-            (Fmt.str "seed %d %s (layout=%b bundle=%b split=%b)" seed name
-               layout bundle split)
+          check_level ~layout ~bundle ~split ~pressure src
+            (Fmt.str "seed %d %s (layout=%b bundle=%b split=%b pressure=%b)"
+               seed name layout bundle split pressure)
             expected config)
         (level_configs profile))
     combos
@@ -104,8 +117,9 @@ let fuzz_iters =
 let fuzz_combos =
   match Sys.getenv_opt "SRP_FUZZ_SPLIT" with
   | Some ("0" | "off" | "false") ->
-    [ (true, true, false); (true, false, false); (false, true, false);
-      (false, false, false) ]
+    [ (true, true, false, true); (true, false, false, true);
+      (false, true, false, true); (false, false, false, true);
+      (true, true, false, false); (false, false, false, false) ]
   | _ -> default_combos
 
 let test_fuzz_sweep () =

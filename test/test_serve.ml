@@ -163,6 +163,31 @@ let test_serve_spans () =
     (before + 2)
     (count "serve" "serve.job")
 
+(* Nearest-rank percentile edge cases.  The summary sorts with
+   Float.compare (a polymorphic-compare sort would still order floats,
+   but the typed comparator documents intent and survives a future
+   change of element type); the degenerate batch sizes are where an
+   off-by-one in ceil(p*n)-1 would bite. *)
+let test_percentile () =
+  let check = Alcotest.(check (float 0.0)) in
+  (* n = 0: an all-error batch still emits a summary *)
+  check "empty p50" 0.0 (Serve.percentile [||] 0.50);
+  check "empty p100" 0.0 (Serve.percentile [||] 1.0);
+  (* n = 1: every percentile is the single sample *)
+  check "single p50" 7.0 (Serve.percentile [| 7.0 |] 0.50);
+  check "single p95" 7.0 (Serve.percentile [| 7.0 |] 0.95);
+  check "single p100" 7.0 (Serve.percentile [| 7.0 |] 1.0);
+  (* n = 2: nearest-rank p50 is the FIRST element (rank ceil(0.5*2)=1),
+     p95 and max are the second *)
+  check "pair p50" 1.0 (Serve.percentile [| 1.0; 9.0 |] 0.50);
+  check "pair p95" 9.0 (Serve.percentile [| 1.0; 9.0 |] 0.95);
+  check "pair p100" 9.0 (Serve.percentile [| 1.0; 9.0 |] 1.0);
+  (* and that the summary actually sorts: an unsorted-input mistake
+     would surface here as p50 > p95 *)
+  let sorted = [| 3.0; 1.0; 2.0 |] in
+  Array.sort Float.compare sorted;
+  check "sorted p50" 2.0 (Serve.percentile sorted 0.50)
+
 (* the summary's latency percentiles and per-stage breakdown *)
 let test_serve_summary_breakdown () =
   let responses, failed =
@@ -239,11 +264,12 @@ let test_soak () =
             (Srp_support.Rng.int rng (List.length Pipeline.all_levels))
         in
         let flag () = Srp_support.Rng.int rng 2 = 0 in
-        (i, Gen_minic.program ~seed (), level, flag (), flag (), flag ()))
+        ( i, Gen_minic.program ~seed (), level, flag (), flag (), flag (),
+          flag () ))
   in
   let batch =
     List.map
-      (fun (i, src, level, layout, bundle, split) ->
+      (fun (i, src, level, layout, bundle, split, pressure) ->
         Json.to_string
           (Json.Obj
              [ ("id", Json.Int i);
@@ -251,20 +277,22 @@ let test_soak () =
                ("level", Json.String (Pipeline.level_name level));
                ("layout", Json.Bool layout);
                ("bundle", Json.Bool bundle);
-               ("split", Json.Bool split) ]))
+               ("split", Json.Bool split);
+               ("pressure", Json.Bool pressure) ]))
       descs
   in
   let responses, failed = serve_batch batch in
   Alcotest.(check int) "no failed soak jobs" 0 failed;
   List.iteri
-    (fun i (_, src, level, layout, bundle, split) ->
+    (fun i (_, src, level, layout, bundle, split, pressure) ->
       let r = List.nth responses i in
       let w =
         { Workload.name = Fmt.str "soak-%d" i; description = "soak";
           source = src; train = []; ref_ = [] }
       in
       let direct =
-        Pipeline.profile_compile_run_monolithic ~layout ~bundle ~split w level
+        Pipeline.profile_compile_run_monolithic ~layout ~bundle ~split
+          ~pressure w level
       in
       Alcotest.(check string)
         (Fmt.str "soak job %d output" i)
@@ -279,6 +307,8 @@ let suite =
   [ Alcotest.test_case "batch: order, dedup, stats, summary" `Quick test_batch;
     Alcotest.test_case "spans: one per unique job, stable under dedup" `Quick
       test_serve_spans;
+    Alcotest.test_case "percentile: nearest-rank n=0/1/2 edges" `Quick
+      test_percentile;
     Alcotest.test_case "summary: latency percentiles + stage breakdown" `Quick
       test_serve_summary_breakdown;
     Alcotest.test_case "workload job matches direct pipeline" `Slow

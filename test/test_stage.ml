@@ -70,6 +70,7 @@ type desc = {
   d_layout : bool;
   d_bundle : bool;
   d_split : bool;
+  d_pressure : bool;
   d_fuel : int option;
 }
 
@@ -89,6 +90,7 @@ let job_of_desc (d : desc) : Serve.job =
     j_layout = d.d_layout;
     j_bundle = d.d_bundle;
     j_split = d.d_split;
+    j_pressure = d.d_pressure;
     j_fuel = d.d_fuel }
 
 let gen_desc =
@@ -102,15 +104,16 @@ let gen_desc =
   let* d_layout = bool in
   let* d_bundle = bool in
   let* d_split = bool in
+  let* d_pressure = bool in
   let+ d_fuel = oneof [ return None; map (fun n -> Some (n + 1)) (int_bound 3) ] in
   { d_source; d_input; d_level; d_ablations; d_layout; d_bundle; d_split;
-    d_fuel }
+    d_pressure; d_fuel }
 
 let print_desc d =
-  Fmt.str "{src=%d;in=%d;lvl=%d;abl=%a;l=%b;b=%b;s=%b;fuel=%a}" d.d_source
+  Fmt.str "{src=%d;in=%d;lvl=%d;abl=%a;l=%b;b=%b;s=%b;p=%b;fuel=%a}" d.d_source
     d.d_input d.d_level
     Fmt.(list ~sep:comma bool)
-    d.d_ablations d.d_layout d.d_bundle d.d_split
+    d.d_ablations d.d_layout d.d_bundle d.d_split d.d_pressure
     Fmt.(option int)
     d.d_fuel
 
@@ -145,7 +148,17 @@ let test_stage_keys () =
        :: List.map Stage.Key.config_fingerprint
             [ Srp_core.Config.conservative; Srp_core.Config.baseline;
               Srp_core.Config.alat_heuristic;
-              { Srp_core.Config.baseline with Srp_core.Config.max_rounds = 1 }
+              { Srp_core.Config.baseline with Srp_core.Config.max_rounds = 1 };
+              (* every pressure-gate parameter must reach the fingerprint:
+                 a tuned knob served a stale cached promote artifact would
+                 silently undo the tuning *)
+              { Srp_core.Config.baseline with Srp_core.Config.pressure = false };
+              { Srp_core.Config.baseline with
+                Srp_core.Config.pressure_threshold = 16 };
+              { Srp_core.Config.baseline with Srp_core.Config.lat_l1 = 3 };
+              { Srp_core.Config.baseline with Srp_core.Config.lat_fp = 12 };
+              { Srp_core.Config.baseline with Srp_core.Config.spill_cost = 6 };
+              { Srp_core.Config.baseline with Srp_core.Config.estimator = 3 }
             ]));
   let pk = Stage.Key.promote ~applied_key:ak ~config:"none" in
   let sk = Stage.Key.select ~promote_key:pk in
