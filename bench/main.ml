@@ -134,7 +134,9 @@ let () =
        speculatively promoted pointer), mirroring the paper's section 4 note
        that its implementation kept cascades disabled.  The mechanism itself
        (chk.a + recovery routines, Figure 4) is exercised by the dedicated
-       tests in test/test_core.ml.@."
+       tests in test/test_core.ml.@.";
+    section "Ablation G: pre-bundle list scheduling on/off";
+    Fmt.pr "%s@." (Experiments.ablation_sched subset)
   end;
   (* --- Bechamel micro-benchmarks of the compiler phases --- *)
   section "Compiler-phase micro-benchmarks (Bechamel)";

@@ -77,6 +77,14 @@ let no_layout_arg =
            ~doc:"skip the post-regalloc block layout pass (loop rotation + \
                  fall-through chaining), for A/B-ing its branch behaviour")
 
+let no_sched_arg =
+  Arg.(value & flag
+       & info [ "no-sched" ]
+           ~doc:"skip the pre-bundle latency-aware list scheduler and \
+                 bundle the stream in source order, for A/B-ing the \
+                 scheduling contribution (bit-identical on every \
+                 non-cycle counter)")
+
 let no_bundle_arg =
   Arg.(value & flag
        & info [ "no-bundle" ]
@@ -182,14 +190,14 @@ let workload_of_file path =
     source = read_file path; train = []; ref_ = [] }
 
 let compile_cmd =
-  let run file level asm no_layout no_bundle no_split no_pressure =
+  let run file level asm no_layout no_sched no_bundle no_split no_pressure =
     let w = workload_of_file file in
     let profile =
       match level with Pipeline.Alat -> Some (Pipeline.train_profile w) | _ -> None
     in
     let c =
       Pipeline.compile ?profile ~layout:(not no_layout)
-        ~bundle:(not no_bundle) ~split:(not no_split)
+        ~sched:(not no_sched) ~bundle:(not no_bundle) ~split:(not no_split)
         ~pressure:(not no_pressure) ~input:[] w level
     in
     if asm then
@@ -210,7 +218,7 @@ let compile_cmd =
   in
   Cmd.v (Cmd.info "compile" ~doc:"compile a MiniC file and dump IR/assembly")
     Term.(const run $ file_arg $ level_arg $ asm_arg $ no_layout_arg
-          $ no_bundle_arg $ no_split_arg $ no_pressure_arg)
+          $ no_sched_arg $ no_bundle_arg $ no_split_arg $ no_pressure_arg)
 
 let no_cache_arg =
   Arg.(value & flag
@@ -221,7 +229,8 @@ let no_cache_arg =
 
 let run_cmd =
   let run file level ablations json trace trace_spans timeline
-      timeline_interval no_layout no_bundle no_split no_pressure no_cache =
+      timeline_interval no_layout no_sched no_bundle no_split no_pressure
+      no_cache =
     let w = workload_of_file file in
     let pcr =
       if no_cache then Pipeline.profile_compile_run_monolithic
@@ -232,8 +241,9 @@ let run_cmd =
           with_timeline timeline ~interval:timeline_interval (fun timeline ->
               with_trace trace (fun trace ->
                   pcr ?trace ?timeline ~ablations
-                    ~layout:(not no_layout) ~bundle:(not no_bundle)
-                    ~split:(not no_split) ~pressure:(not no_pressure) w level)))
+                    ~layout:(not no_layout) ~sched:(not no_sched)
+                    ~bundle:(not no_bundle) ~split:(not no_split)
+                    ~pressure:(not no_pressure) w level)))
     in
     if json then
       Fmt.pr "%s@." (J.to_string ~indent:2 (Emit.run_json ~name:w.Workload.name r))
@@ -249,8 +259,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"compile and execute on the machine simulator")
     Term.(const run $ file_arg $ level_arg $ ablation_arg $ json_arg $ trace_arg
           $ trace_spans_arg $ timeline_arg $ timeline_interval_arg
-          $ no_layout_arg $ no_bundle_arg $ no_split_arg $ no_pressure_arg
-          $ no_cache_arg)
+          $ no_layout_arg $ no_sched_arg $ no_bundle_arg $ no_split_arg
+          $ no_pressure_arg $ no_cache_arg)
 
 let serve_cmd =
   let capacity_arg =

@@ -69,3 +69,19 @@ let pp_style ppf = function
   | No_speculation -> Fmt.string ppf "none"
   | Software -> Fmt.string ppf "software"
   | Alat -> Fmt.string ppf "alat"
+
+(* Knobs of the post-regalloc, pre-bundle list scheduler
+   (lib/target/sched.ml).  [lat_l1]/[lat_fp] are the machine's L1-hit
+   load latencies — the same figures the promotion cost model above
+   prices eliminated loads with — used as dependence-edge weights.
+   [hoist_bonus] is added to the critical-path priority of ld.a/ld.sa
+   so advanced loads issue as early as their block allows: the
+   speculative hoist-distance tuning.  The scheduler on/off bit is
+   fingerprinted into the bundle stage key and serve job key; these
+   weights are compile-time constants shared by every level, so they
+   ride the key version instead of being fingerprinted per job. *)
+module Sched = struct
+  type t = { lat_l1 : int; lat_fp : int; hoist_bonus : int }
+
+  let default = { lat_l1 = 2; lat_fp = 9; hoist_bonus = 4 }
+end

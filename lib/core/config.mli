@@ -74,3 +74,21 @@ val alat_cascade : profile:Srp_profile.Alias_profile.t -> t
 val alat_heuristic : t
 
 val pp_style : Format.formatter -> check_style -> unit
+
+(** Knobs of the post-regalloc, pre-bundle list scheduler
+    (lib/target/sched.ml): dependence-edge latencies — the same L1-hit
+    figures the promotion cost model prices eliminated loads with — and
+    the critical-path priority bonus that hoists ld.a/ld.sa.  Constant
+    across levels; the scheduler's on/off bit is what the stage and
+    serve keys fingerprint. *)
+module Sched : sig
+  type t = {
+    lat_l1 : int;  (** integer L1-hit load latency, cycles *)
+    lat_fp : int;  (** floating-point L1-hit load latency, cycles *)
+    hoist_bonus : int;
+        (** added to the critical-path height of ld.a/ld.sa so advanced
+            loads issue as early as their block allows *)
+  }
+
+  val default : t
+end

@@ -60,10 +60,13 @@ let pool_map ~(ntasks : int) (f : int -> 'a) : ('a, exn) result array =
    the fixed reference the figures are normalized against.  [cache]
    shares stage artifacts between the two builds (one lower, one input
    application per input set). *)
-let run_pair ?fuel ?cache ?ablations (w : Workload.t) : bench_result =
-  let base = Pipeline.profile_compile_run ?fuel ?cache w Pipeline.Baseline in
+let run_pair ?fuel ?cache ?ablations ?sched (w : Workload.t) : bench_result =
+  let base =
+    Pipeline.profile_compile_run ?fuel ?cache ?sched w Pipeline.Baseline
+  in
   let spec =
-    Pipeline.profile_compile_run ?fuel ?cache ?ablations w Pipeline.Alat
+    Pipeline.profile_compile_run ?fuel ?cache ?ablations ?sched w
+      Pipeline.Alat
   in
   if base.Pipeline.output <> spec.Pipeline.output then
     raise
@@ -81,14 +84,15 @@ let run_pair ?fuel ?cache ?ablations (w : Workload.t) : bench_result =
    lowers each source once instead of thrice (train + 2 levels).  The
    baseline-vs-speculative output check happens after the join, exactly
    as in the sequential run_pair. *)
-let run_all ?fuel ?cache (workloads : Workload.t list) : bench_result list =
+let run_all ?fuel ?cache ?sched (workloads : Workload.t list) :
+    bench_result list =
   let ws = Array.of_list workloads in
   let n = Array.length ws in
   let ntasks = 2 * n in
   let run_task i =
     let w = ws.(i / 2) in
     let level = if i mod 2 = 0 then Pipeline.Baseline else Pipeline.Alat in
-    Pipeline.profile_compile_run ?fuel ?cache w level
+    Pipeline.profile_compile_run ?fuel ?cache ?sched w level
   in
   let slots = pool_map ~ntasks run_task in
   let result i =
@@ -233,3 +237,27 @@ let ablation_cascade ?fuel workloads =
     ~mk_b:(fun p -> Some (Srp_core.Config.alat_cascade ~profile:p))
     workloads
   |> render_compare ~label_a:"no-cascade" ~label_b:"cascade"
+
+(* Ablation G: the pre-bundle list scheduler on/off.  Unlike A-F this is
+   a backend knob, not a promotion config — both runs are the full ALAT
+   pipeline, differing only in whether sched.ml reorders each block
+   before bundling.  The differential tests pin the two builds to the
+   same outputs and non-cycle counters, so the delta here is pure
+   latency hiding plus tighter packing. *)
+let ablation_sched ?fuel workloads =
+  List.map
+    (fun w ->
+      let off = Pipeline.profile_compile_run ?fuel ~sched:false w Pipeline.Alat in
+      let on = Pipeline.profile_compile_run ?fuel ~sched:true w Pipeline.Alat in
+      if off.Pipeline.output <> on.Pipeline.output then
+        raise
+          (Output_mismatch
+             (Fmt.str "%s: sched ablation outputs differ!" w.Workload.name));
+      let ca = off.Pipeline.counters.C.cycles
+      and cb = on.Pipeline.counters.C.cycles in
+      let red =
+        100.0 *. float_of_int (ca - cb) /. float_of_int (max 1 ca)
+      in
+      (w.Workload.name, ca, cb, red))
+    workloads
+  |> render_compare ~label_a:"no-sched" ~label_b:"sched"

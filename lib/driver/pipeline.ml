@@ -273,16 +273,20 @@ let layout_stage cache ~(regalloc_key : string) ~(layout : bool)
                 Stage.Allocated
                   (if layout then Srp_target.Codegen.layout_program al else al)))) )
 
-let bundle_stage cache ~(layout_key : string) ~(bundle : bool)
-    (al : Srp_target.Codegen.allocated list) :
+(* Scheduling and bundling share one stage: the scheduler's output only
+   ever flows into the bundler (or the flat fallback), so a separate
+   artifact would never be shared across different downstream settings. *)
+let bundle_stage cache ~(layout_key : string) ~(sched : bool)
+    ~(bundle : bool) (al : Srp_target.Codegen.allocated list) :
     string * Srp_target.Insn.func list =
-  let key = Stage.Key.bundle ~layout_key ~bundle in
+  let key = Stage.Key.bundle ~layout_key ~sched ~bundle in
   ( key,
     Stage.as_bundled
       (Stage.get cache ~key
          ~build:
            (staged "bundle" ~key (fun () ->
-                Stage.Bundled (Srp_target.Codegen.bundle_program ~bundle al)))) )
+                Stage.Bundled
+                  (Srp_target.Codegen.bundle_program ~sched ~bundle al)))) )
 
 (* Collect an alias profile by interpreting the program on the train
    input, via the lower / apply-input / profile stages — the train run
@@ -300,9 +304,11 @@ let train_profile ?cache (w : Workload.t) : Alias_profile.t =
    which runs no promotion at all).  [split:false] selects the
    closed-interval allocator (the --no-split ablation); [pressure:false]
    turns the pressure gate off (the --no-pressure ablation, flowing
-   through the config so the promote content key records it). *)
+   through the config so the promote content key records it);
+   [sched:false] skips the pre-bundle list scheduler (the --no-sched
+   ablation, recorded in the bundle stage key). *)
 let compile ?cache ?profile ?(ablations = []) ?(layout = true)
-    ?(bundle = true) ?(split = true) ?(pressure = true)
+    ?(sched = true) ?(bundle = true) ?(split = true) ?(pressure = true)
     ~(input : Workload.input) (w : Workload.t) (level : level) : compiled =
   let lower_key, lowered = lower_stage cache w.Workload.source in
   let applied_key, applied = apply_stage cache ~lower_key lowered input in
@@ -322,7 +328,7 @@ let compile ?cache ?profile ?(ablations = []) ?(layout = true)
   let select_key, sel = select_stage cache ~promote_key ir in
   let regalloc_key, al = regalloc_stage cache ~select_key ~split sel in
   let layout_key, al = layout_stage cache ~regalloc_key ~layout al in
-  let _bundle_key, fns = bundle_stage cache ~layout_key ~bundle al in
+  let _bundle_key, fns = bundle_stage cache ~layout_key ~sched ~bundle al in
   let target = Srp_target.Codegen.assemble_program ir fns in
   { level; ablations; split; ir; target; promote }
 
@@ -348,7 +354,8 @@ let run ?fuel ?trace ?timeline (c : compiled) : run_result =
    builds, so parse/lower fires once per distinct source (the seed path
    lowered the same source twice per alat run). *)
 let profile_compile_run ?fuel ?trace ?timeline ?cache ?ablations ?layout
-    ?bundle ?split ?pressure (w : Workload.t) (level : level) : run_result =
+    ?sched ?bundle ?split ?pressure (w : Workload.t) (level : level) :
+    run_result =
   let cache =
     match cache with Some c -> c | None -> Stage.create ~capacity:16 ()
   in
@@ -358,8 +365,8 @@ let profile_compile_run ?fuel ?trace ?timeline ?cache ?ablations ?layout
     | O0 | Conservative | Baseline | Alat_heuristic -> None
   in
   let c =
-    compile ~cache ?profile ?ablations ?layout ?bundle ?split ?pressure
-      ~input:w.Workload.ref_ w level
+    compile ~cache ?profile ?ablations ?layout ?sched ?bundle ?split
+      ?pressure ~input:w.Workload.ref_ w level
   in
   run ?fuel ?trace ?timeline c
 
@@ -379,7 +386,7 @@ let train_profile_monolithic (w : Workload.t) : Alias_profile.t =
   Srp_profile.Interp.profile interp
 
 let compile_monolithic ?profile ?(ablations = []) ?(layout = true)
-    ?(bundle = true) ?(split = true) ?(pressure = true)
+    ?(sched = true) ?(bundle = true) ?(split = true) ?(pressure = true)
     ~(input : Workload.input) (w : Workload.t) (level : level) : compiled =
   let ir = Srp_frontend.Lower.compile_source w.Workload.source in
   Workload.apply_input ir input;
@@ -399,18 +406,19 @@ let compile_monolithic ?profile ?(ablations = []) ?(layout = true)
     if split then Srp_target.Regalloc.default_policy
     else Srp_target.Regalloc.closed_policy
   in
-  let target = Srp_target.Codegen.gen_program ~layout ~bundle ~ra ir in
+  let target = Srp_target.Codegen.gen_program ~layout ~sched ~bundle ~ra ir in
   { level; ablations; split; ir; target; promote }
 
 let profile_compile_run_monolithic ?fuel ?trace ?timeline ?ablations ?layout
-    ?bundle ?split ?pressure (w : Workload.t) (level : level) : run_result =
+    ?sched ?bundle ?split ?pressure (w : Workload.t) (level : level) :
+    run_result =
   let profile =
     match level with
     | Alat -> Some (train_profile_monolithic w)
     | O0 | Conservative | Baseline | Alat_heuristic -> None
   in
   let c =
-    compile_monolithic ?profile ?ablations ?layout ?bundle ?split ?pressure
-      ~input:w.Workload.ref_ w level
+    compile_monolithic ?profile ?ablations ?layout ?sched ?bundle ?split
+      ?pressure ~input:w.Workload.ref_ w level
   in
   run ?fuel ?trace ?timeline c

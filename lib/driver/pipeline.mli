@@ -75,7 +75,10 @@ val pressure_fn : Program.t -> string -> Srp_core.Promote.pressure option
     into the global initializers before promotion and code generation.
     [ablations] override the level's promotion config (no effect at O0).
     [layout] (default on) runs the post-regalloc block layout pass — turn
-    it off to A/B the branch-layout contribution in isolation.  [bundle]
+    it off to A/B the branch-layout contribution in isolation.  [sched]
+    (default on) runs the pre-bundle latency-aware list scheduler
+    ({!Srp_target.Sched}) over the laid-out code; off is the [--no-sched]
+    ablation, bit-identical on every non-cycle counter.  [bundle]
     (default on) packs the laid-out code into IA-64 3-slot bundles so the
     machine fetches bundle-wise; off = flat instruction stream.  [split]
     (default on) selects the hole-aware live-range allocator; off falls
@@ -91,6 +94,7 @@ val compile :
   ?profile:Srp_profile.Alias_profile.t ->
   ?ablations:ablation list ->
   ?layout:bool ->
+  ?sched:bool ->
   ?bundle:bool ->
   ?split:bool ->
   ?pressure:bool ->
@@ -123,6 +127,7 @@ val profile_compile_run :
   ?cache:Stage.store ->
   ?ablations:ablation list ->
   ?layout:bool ->
+  ?sched:bool ->
   ?bundle:bool ->
   ?split:bool ->
   ?pressure:bool ->
@@ -142,6 +147,7 @@ val compile_monolithic :
   ?profile:Srp_profile.Alias_profile.t ->
   ?ablations:ablation list ->
   ?layout:bool ->
+  ?sched:bool ->
   ?bundle:bool ->
   ?split:bool ->
   ?pressure:bool ->
@@ -156,6 +162,7 @@ val profile_compile_run_monolithic :
   ?timeline:Srp_machine.Timeline.t ->
   ?ablations:ablation list ->
   ?layout:bool ->
+  ?sched:bool ->
   ?bundle:bool ->
   ?split:bool ->
   ?pressure:bool ->

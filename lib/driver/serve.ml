@@ -8,8 +8,8 @@
 
      {"id": 1, "workload": "gzip", "level": "alat"}
      {"id": 2, "source": "int main() { return 0; }", "level": "O0",
-      "ablations": [], "layout": true, "bundle": true, "split": true,
-      "fuel": 1000000}
+      "ablations": [], "layout": true, "sched": true, "bundle": true,
+      "split": true, "fuel": 1000000}
 
    The daemon dedupes jobs by content key, fans the unique jobs out on
    the Experiments domain pool over one shared stage store (so every
@@ -29,6 +29,7 @@ type job = {
   j_level : Pipeline.level;
   j_ablations : Pipeline.ablation list;
   j_layout : bool;
+  j_sched : bool;
   j_bundle : bool;
   j_split : bool;
   j_pressure : bool;
@@ -37,16 +38,18 @@ type job = {
 
 (* The job's content key: everything that determines its result.  Two
    jobs with equal keys are the same compile-and-run, whatever their ids
-   say — the second is answered from the first's result. *)
+   say — the second is answered from the first's result.  "v3": the
+   sched backend flag joined the key (PR 9). *)
 let job_key (j : job) : string =
   Stage.Key.digest
-    ([ "serve-job"; "v2"; j.j_w.Workload.source;
+    ([ "serve-job"; "v3"; j.j_w.Workload.source;
        Marshal.to_string j.j_w.Workload.train [];
        Marshal.to_string j.j_w.Workload.ref_ [];
        Pipeline.level_name j.j_level ]
     @ List.map Pipeline.ablation_name j.j_ablations
-    @ [ string_of_bool j.j_layout; string_of_bool j.j_bundle;
-        string_of_bool j.j_split; string_of_bool j.j_pressure;
+    @ [ string_of_bool j.j_layout; string_of_bool j.j_sched;
+        string_of_bool j.j_bundle; string_of_bool j.j_split;
+        string_of_bool j.j_pressure;
         (match j.j_fuel with None -> "" | Some f -> string_of_int f) ])
 
 let ( let* ) = Result.bind
@@ -107,6 +110,7 @@ let parse_job ~(lookup : string -> Workload.t option) ~(line_no : int)
             (Ok []) items)
     in
     let* layout = bool_field ~default:true "layout" js in
+    let* sched = bool_field ~default:true "sched" js in
     let* bundle = bool_field ~default:true "bundle" js in
     let* split = bool_field ~default:true "split" js in
     let* pressure = bool_field ~default:true "pressure" js in
@@ -119,8 +123,8 @@ let parse_job ~(lookup : string -> Workload.t option) ~(line_no : int)
         | _ -> Error "field \"fuel\" must be a positive integer")
     in
     Ok { j_id = id; j_w = w; j_level = level; j_ablations = ablations;
-         j_layout = layout; j_bundle = bundle; j_split = split;
-         j_pressure = pressure; j_fuel = fuel }
+         j_layout = layout; j_sched = sched; j_bundle = bundle;
+         j_split = split; j_pressure = pressure; j_fuel = fuel }
   in
   (id, job)
 
@@ -137,8 +141,9 @@ let run_job ~cache ~key (j : job) : Pipeline.run_result * Stats.Scope.t =
     (fun () ->
       Stats.with_scope (fun () ->
           Pipeline.profile_compile_run ?fuel:j.j_fuel ~cache
-            ~ablations:j.j_ablations ~layout:j.j_layout ~bundle:j.j_bundle
-            ~split:j.j_split ~pressure:j.j_pressure j.j_w j.j_level))
+            ~ablations:j.j_ablations ~layout:j.j_layout ~sched:j.j_sched
+            ~bundle:j.j_bundle ~split:j.j_split ~pressure:j.j_pressure
+            j.j_w j.j_level))
 
 let result_json (j : job) ~key ~deduped (r : Pipeline.run_result)
     (scope : Stats.Scope.t) : Json.t =

@@ -111,8 +111,12 @@ module Key = struct
   let layout ~(regalloc_key : string) ~(layout : bool) =
     digest [ "layout"; "v1"; regalloc_key; string_of_bool layout ]
 
-  let bundle ~(layout_key : string) ~(bundle : bool) =
-    digest [ "bundle"; "v1"; layout_key; string_of_bool bundle ]
+  (* "v2": the pre-bundle list scheduler joined the stage (PR 9); its
+     on/off bit determines the emitted stream, so it is part of the key. *)
+  let bundle ~(layout_key : string) ~(sched : bool) ~(bundle : bool) =
+    digest
+      [ "bundle"; "v2"; layout_key; string_of_bool sched;
+        string_of_bool bundle ]
 end
 
 (* --- the bounded store --- *)

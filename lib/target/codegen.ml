@@ -631,6 +631,26 @@ let layout_func (a : allocated) : allocated =
     ls.Layout.blocks_moved;
   { a with al_code = code }
 
+(* List scheduling after layout, before bundling: layout fixes the block
+   order (and with it the predictor geometry), scheduling then reorders
+   within each block, and the bundler packs the scheduled stream. *)
+let sched_func (a : allocated) : allocated =
+  let st = { Sched.blocks = 0; moved = 0; hoist = 0 } in
+  let code =
+    Srp_obs.Stats.time ~pass:"target" "sched" (fun () ->
+        Sched.run ~stats:st a.al_code)
+  in
+  Srp_obs.Stats.add
+    (Srp_obs.Stats.counter ~pass:"target" "sched_blocks")
+    st.Sched.blocks;
+  Srp_obs.Stats.add
+    (Srp_obs.Stats.counter ~pass:"target" "sched_moved")
+    st.Sched.moved;
+  Srp_obs.Stats.add
+    (Srp_obs.Stats.counter ~pass:"target" "sched_hoist_slots")
+    st.Sched.hoist;
+  { a with al_code = code }
+
 let func_of_allocated (a : allocated) ~(bundles : Insn.bundle array option) :
     Insn.func =
   { Insn.name = a.al_name;
@@ -663,20 +683,22 @@ let bundle_func (a : allocated) : Insn.func =
 
 let flat_func (a : allocated) : Insn.func = func_of_allocated a ~bundles:None
 
-let gen_func ?(layout = true) ?(bundle = true)
+let gen_func ?(layout = true) ?(sched = true) ?(bundle = true)
     ?(ra = Regalloc.default_policy) (f : Func.t) : Insn.func =
   let s = select_func f in
   let a = alloc_func ~ra s in
   let a = if layout then layout_func a else a in
+  let a = if sched then sched_func a else a in
   if bundle then bundle_func a else flat_func a
 
-let gen_program ?(layout = true) ?(bundle = true)
+let gen_program ?(layout = true) ?(sched = true) ?(bundle = true)
     ?(ra = Regalloc.default_policy) (prog : Program.t) : Insn.program =
   let funcs = Hashtbl.create 16 in
   Srp_obs.Stats.time ~pass:"target" "codegen" (fun () ->
       List.iter
         (fun f ->
-          Hashtbl.replace funcs (Func.name f) (gen_func ~layout ~bundle ~ra f))
+          Hashtbl.replace funcs (Func.name f)
+            (gen_func ~layout ~sched ~bundle ~ra f))
         (Program.funcs prog));
   { Insn.funcs;
     func_order = prog.Program.func_order;
@@ -696,8 +718,13 @@ let alloc_program ?ra (sel : selected list) : allocated list =
 let layout_program (al : allocated list) : allocated list =
   List.map layout_func al
 
-let bundle_program ~(bundle : bool) (al : allocated list) : Insn.func list =
-  List.map (if bundle then bundle_func else flat_func) al
+let bundle_program ~(sched : bool) ~(bundle : bool) (al : allocated list) :
+    Insn.func list =
+  List.map
+    (fun a ->
+      let a = if sched then sched_func a else a in
+      if bundle then bundle_func a else flat_func a)
+    al
 
 (* Final assembly is cheap (one hashtable build over shared [Insn.func]
    values) and happens outside the cache, per compile. *)

@@ -64,6 +64,40 @@ type insn =
    generated code. *)
 let sp = 0
 
+(* --- dependence classification ---
+
+   The pre-bundle list scheduler (sched.ml) and its independent checker in
+   the test suite share these ground rules.
+
+   [is_ordered]: instructions whose effects reach beyond the register
+   files.  Cache replacement state observes the order of every memory
+   access, the ALAT observes the order of arms / checks / invalidates and
+   of the stores that evict entries, allocation bumps the heap pointer,
+   and calls / prints touch the outside world.  The scheduler keeps these
+   in their original total order — only register-to-register compute moves
+   around them — which is what makes a scheduled stream bit-identical to
+   the unscheduled one on every non-cycle architectural counter. *)
+let is_ordered = function
+  | Ld _ | St _ | Chk_a _ | Invala_e _ | Alloc _ | Call _ | Print _ -> true
+  | Movl _ | Gaddr _ | Mov _ | Alu _ | Falu _ | Fcmp _ | Itof _ | Ftoi _
+  | Sel _ | Br _ | Brc _ | Ret _ | Nop ->
+    false
+
+(* [is_terminal]: instructions that end a scheduling region and stay
+   pinned at their pc.  Br/Brc/Ret transfer control outright; chk.a does
+   too (its recovery block branches back to the instruction after it, so
+   that instruction is a block leader).  Keeping terminals at unchanged
+   indices means branch targets and the static predictor's taken/not-taken
+   geometry survive scheduling untouched. *)
+let is_terminal = function
+  | Br _ | Brc _ | Ret _ | Chk_a _ -> true
+  | _ -> false
+
+(* speculative loads the scheduler hoists preferentially *)
+let is_advanced_load = function
+  | Ld { kind = K_ld_a | K_ld_sa; _ } -> true
+  | _ -> false
+
 (* --- IA-64 bundles ---
 
    A bundle holds three syllables dispensed to M (memory), I (integer),

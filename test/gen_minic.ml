@@ -19,6 +19,7 @@ type ctx = {
   mutable loop_counters : string list; (* in-scope counted loop variables *)
   mutable depth : int;
   n_scalars : int;
+  n_fscalars : int;
   n_arrays : int;
   n_ptrs : int;
   n_helpers : int;
@@ -33,6 +34,7 @@ let line ctx fmt =
     fmt
 
 let scalar ctx = Fmt.str "g%d" (Rng.int ctx.rng ctx.n_scalars)
+let fscalar ctx = Fmt.str "f%d" (Rng.int ctx.rng ctx.n_fscalars)
 let array_name ctx = Fmt.str "arr%d" (Rng.int ctx.rng ctx.n_arrays)
 let ptr ctx = Fmt.str "p%d" (Rng.int ctx.rng ctx.n_ptrs)
 
@@ -78,7 +80,7 @@ and atom ctx =
 
 (* A statement; recursion bounded by ctx.depth. *)
 let rec stmt ctx =
-  let choice = Rng.int ctx.rng 12 in
+  let choice = Rng.int ctx.rng 14 in
   if ctx.depth >= 3 && choice >= 7 then simple ctx
   else
     match choice with
@@ -144,6 +146,41 @@ let rec stmt ctx =
     | 10 ->
       (* pointer copy: two names for the same cell from here on *)
       line ctx "%s = %s;" (ptr ctx) (ptr ctx)
+    | 11 ->
+      (* long dependence chain: a run of serially dependent updates on
+         one scalar.  The list scheduler cannot reorder any of it (every
+         update is RAW on the last), so sched on/off must agree exactly
+         while the critical-path heights get a deep chain to walk. *)
+      let g = scalar ctx in
+      let k = 4 + Rng.int ctx.rng 8 in
+      for _ = 1 to k do
+        line ctx "%s = (%s * 3 + %s) %% 8191;" g g (atom ctx)
+      done
+    | 12 ->
+      (* FP-heavy block: chained double arithmetic with itof mix-ins —
+         long FP latencies for the scheduler to hide.  Coefficients sum
+         below 1 with small additive terms, so every f stays bounded and
+         the truncated checksum contribution is exact. *)
+      if ctx.n_fscalars = 0 then simple ctx
+      else begin
+        let d = fscalar ctx and d2 = fscalar ctx in
+        let k = 3 + Rng.int ctx.rng 5 in
+        for _ = 1 to k do
+          match Rng.int ctx.rng 3 with
+          | 0 ->
+            line ctx "%s = %s * 0.5 + %s * 0.25 + %d.5;" d d d2
+              (Rng.int ctx.rng 3)
+          | 1 ->
+            let c =
+              match ctx.loop_counters with
+              | [] -> string_of_int (Rng.int ctx.rng 8)
+              | c :: _ -> c
+            in
+            line ctx "%s = %s * 0.25 + %s;" d d2 c
+          | _ -> line ctx "%s = %s * 0.5 + %d.25;" d d (Rng.int ctx.rng 4)
+        done;
+        line ctx "checksum = checksum + %s;" d
+      end
     | _ -> simple ctx
 
 and simple ctx =
@@ -180,14 +217,18 @@ let helper ctx i =
   line ctx "}"
 
 (* Generate a full program from a seed. *)
-let program ?(n_scalars = 4) ?(n_arrays = 2) ?(n_ptrs = 3) ?(n_helpers = 2)
-    ~seed () : string =
+let program ?(n_scalars = 4) ?(n_fscalars = 2) ?(n_arrays = 2) ?(n_ptrs = 3)
+    ?(n_helpers = 2) ~seed () : string =
   let ctx =
     { rng = Rng.create seed; buf = Buffer.create 1024; indent = 0;
-      loop_counters = []; depth = 0; n_scalars; n_arrays; n_ptrs; n_helpers }
+      loop_counters = []; depth = 0; n_scalars; n_fscalars; n_arrays; n_ptrs;
+      n_helpers }
   in
   for i = 0 to n_scalars - 1 do
     line ctx "int g%d = %d;" i (Rng.int ctx.rng 20)
+  done;
+  for i = 0 to n_fscalars - 1 do
+    line ctx "double f%d = %d.5;" i (Rng.int ctx.rng 4)
   done;
   for i = 0 to n_arrays - 1 do
     line ctx "int arr%d[%d];" i array_size
@@ -213,6 +254,9 @@ let program ?(n_scalars = 4) ?(n_arrays = 2) ?(n_ptrs = 3) ?(n_helpers = 2)
   line ctx "print_int(checksum);";
   for i = 0 to n_scalars - 1 do
     line ctx "print_int(g%d);" i
+  done;
+  for i = 0 to n_fscalars - 1 do
+    line ctx "print_float(f%d);" i
   done;
   line ctx "return 0;";
   ctx.indent <- 0;

@@ -13,6 +13,7 @@ let () =
       ("passes", Test_passes.suite);
       ("target", Test_target.suite);
       ("bundle", Test_bundle.suite);
+      ("sched", Test_sched.suite);
       ("machine", Test_machine.suite);
       ("random", Test_random.suite);
       ("obs", Test_obs.suite);

@@ -13,8 +13,8 @@ let interp_reference src =
   let code, out, profile = Srp_profile.Interp.run_program prog in
   (code, out, profile)
 
-let machine_run ?(layout = true) ?(bundle = true) ?(split = true)
-    ?(pressure = false) src config =
+let machine_run ?(layout = true) ?(sched = true) ?(bundle = true)
+    ?(split = true) ?(pressure = false) src config =
   let prog = Srp_frontend.Lower.compile_source src in
   (match config with
   | Some c ->
@@ -30,12 +30,15 @@ let machine_run ?(layout = true) ?(bundle = true) ?(split = true)
     if split then Srp_target.Regalloc.default_policy
     else Srp_target.Regalloc.closed_policy
   in
-  let tgt = Srp_target.Codegen.gen_program ~layout ~bundle ~ra prog in
+  let tgt = Srp_target.Codegen.gen_program ~layout ~sched ~bundle ~ra prog in
   let code, out, _ = Srp_machine.Machine.run_program ~fuel:50_000_000 tgt in
   (code, out)
 
-let check_level ?layout ?bundle ?split ?pressure src name expected config =
-  let code, out = machine_run ?layout ?bundle ?split ?pressure src config in
+let check_level ?layout ?sched ?bundle ?split ?pressure src name expected
+    config =
+  let code, out =
+    machine_run ?layout ?sched ?bundle ?split ?pressure src config
+  in
   if out <> snd expected || code <> fst expected then
     Alcotest.failf "%s diverged!\n--- source ---\n%s\n--- expected ---\n%s--- got ---\n%s"
       name src (snd expected) out
@@ -67,28 +70,32 @@ let run_seed seed =
   if out2 <> out then Alcotest.failf "conservative interp diverged for seed %d" seed
 
 (* every level crossed with the backend ablation axes:
-   {layout,bundle,split,pressure} on/off.  Pressure-on runs the gated
-   promoter with the pipeline's regalloc estimate; pressure-off is the
-   legacy ungated path (`srp --no-pressure`).  Both must agree with the
-   interpreter bit for bit — the gate may promote less, never compute
-   differently.  The failure message carries the reproducing seed. *)
+   {layout,sched,bundle,split,pressure} on/off.  Pressure-on runs the
+   gated promoter with the pipeline's regalloc estimate; pressure-off is
+   the legacy ungated path (`srp --no-pressure`).  Sched-on runs the
+   pre-bundle list scheduler, which may only move cycle-family counters.
+   Both must agree with the interpreter bit for bit — the gate may
+   promote less, never compute differently.  The failure message carries
+   the reproducing seed. *)
 let default_combos =
-  [ (true, true, true, true); (true, false, true, true);
-    (false, true, true, true); (false, false, true, true);
-    (true, true, false, true); (false, false, false, true);
-    (true, true, true, false); (false, false, false, false) ]
+  [ (true, true, true, true, true); (true, true, false, true, true);
+    (false, true, true, true, true); (false, false, false, true, true);
+    (true, false, true, true, true); (true, true, true, false, true);
+    (false, false, false, false, true); (true, true, true, true, false);
+    (true, false, true, false, false); (false, false, false, false, false) ]
 
 let run_seed_matrix ?(combos = default_combos) seed =
   let src = Gen_minic.program ~seed () in
   let code, out, profile = interp_reference src in
   let expected = (code, out) in
   List.iter
-    (fun (layout, bundle, split, pressure) ->
+    (fun (layout, sched, bundle, split, pressure) ->
       List.iter
         (fun (name, config) ->
-          check_level ~layout ~bundle ~split ~pressure src
-            (Fmt.str "seed %d %s (layout=%b bundle=%b split=%b pressure=%b)"
-               seed name layout bundle split pressure)
+          check_level ~layout ~sched ~bundle ~split ~pressure src
+            (Fmt.str
+               "seed %d %s (layout=%b sched=%b bundle=%b split=%b pressure=%b)"
+               seed name layout sched bundle split pressure)
             expected config)
         (level_configs profile))
     combos
@@ -104,22 +111,31 @@ let test_matrix_batch lo hi () =
   done
 
 (* SRP_FUZZ_ITERS=N runs N extra seeds through the full
-   level x layout x bundle x split matrix — off (0) in the default test
-   run, used by the non-blocking CI fuzz jobs and for local soak testing.
-   SRP_FUZZ_SPLIT=0 focuses the sweep on the closed-interval allocator
-   (split off across every layout/bundle combo), so both allocator paths
-   get their own CI soak. *)
+   level x layout x sched x bundle x split matrix — off (0) in the
+   default test run, used by the non-blocking CI fuzz jobs and for local
+   soak testing.  SRP_FUZZ_SPLIT=0 focuses the sweep on the
+   closed-interval allocator (split off across every layout/bundle
+   combo) and SRP_FUZZ_SCHED=0 on the unscheduled stream (sched off
+   across the matrix), so the allocator paths and the scheduler ablation
+   each get their own CI soak. *)
 let fuzz_iters =
   match Sys.getenv_opt "SRP_FUZZ_ITERS" with
   | Some s -> ( try max 0 (int_of_string s) with _ -> 0)
   | None -> 0
 
 let fuzz_combos =
-  match Sys.getenv_opt "SRP_FUZZ_SPLIT" with
-  | Some ("0" | "off" | "false") ->
-    [ (true, true, false, true); (true, false, false, true);
-      (false, true, false, true); (false, false, false, true);
-      (true, true, false, false); (false, false, false, false) ]
+  match
+    ( Sys.getenv_opt "SRP_FUZZ_SPLIT", Sys.getenv_opt "SRP_FUZZ_SCHED" )
+  with
+  | Some ("0" | "off" | "false"), _ ->
+    [ (true, true, true, false, true); (true, true, false, false, true);
+      (false, true, true, false, true); (false, false, false, false, true);
+      (true, true, true, false, false); (false, false, false, false, false) ]
+  | _, Some ("0" | "off" | "false") ->
+    [ (true, false, true, true, true); (true, false, false, true, true);
+      (false, false, true, true, true); (false, false, false, true, true);
+      (true, false, true, false, true); (true, false, true, true, false);
+      (false, false, false, false, false) ]
   | _ -> default_combos
 
 let test_fuzz_sweep () =

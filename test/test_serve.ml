@@ -265,17 +265,18 @@ let test_soak () =
         in
         let flag () = Srp_support.Rng.int rng 2 = 0 in
         ( i, Gen_minic.program ~seed (), level, flag (), flag (), flag (),
-          flag () ))
+          flag (), flag () ))
   in
   let batch =
     List.map
-      (fun (i, src, level, layout, bundle, split, pressure) ->
+      (fun (i, src, level, layout, sched, bundle, split, pressure) ->
         Json.to_string
           (Json.Obj
              [ ("id", Json.Int i);
                ("source", Json.String src);
                ("level", Json.String (Pipeline.level_name level));
                ("layout", Json.Bool layout);
+               ("sched", Json.Bool sched);
                ("bundle", Json.Bool bundle);
                ("split", Json.Bool split);
                ("pressure", Json.Bool pressure) ]))
@@ -284,14 +285,14 @@ let test_soak () =
   let responses, failed = serve_batch batch in
   Alcotest.(check int) "no failed soak jobs" 0 failed;
   List.iteri
-    (fun i (_, src, level, layout, bundle, split, pressure) ->
+    (fun i (_, src, level, layout, sched, bundle, split, pressure) ->
       let r = List.nth responses i in
       let w =
         { Workload.name = Fmt.str "soak-%d" i; description = "soak";
           source = src; train = []; ref_ = [] }
       in
       let direct =
-        Pipeline.profile_compile_run_monolithic ~layout ~bundle ~split
+        Pipeline.profile_compile_run_monolithic ~layout ~sched ~bundle ~split
           ~pressure w level
       in
       Alcotest.(check string)

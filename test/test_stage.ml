@@ -68,6 +68,7 @@ type desc = {
   d_level : int;
   d_ablations : bool list; (* inclusion mask over all_ablations *)
   d_layout : bool;
+  d_sched : bool;
   d_bundle : bool;
   d_split : bool;
   d_pressure : bool;
@@ -88,6 +89,7 @@ let job_of_desc (d : desc) : Serve.job =
     j_ablations =
       List.filteri (fun i _ -> List.nth d.d_ablations i) Pipeline.all_ablations;
     j_layout = d.d_layout;
+    j_sched = d.d_sched;
     j_bundle = d.d_bundle;
     j_split = d.d_split;
     j_pressure = d.d_pressure;
@@ -102,18 +104,19 @@ let gen_desc =
     flatten_l (List.map (fun _ -> bool) Pipeline.all_ablations)
   in
   let* d_layout = bool in
+  let* d_sched = bool in
   let* d_bundle = bool in
   let* d_split = bool in
   let* d_pressure = bool in
   let+ d_fuel = oneof [ return None; map (fun n -> Some (n + 1)) (int_bound 3) ] in
-  { d_source; d_input; d_level; d_ablations; d_layout; d_bundle; d_split;
-    d_pressure; d_fuel }
+  { d_source; d_input; d_level; d_ablations; d_layout; d_sched; d_bundle;
+    d_split; d_pressure; d_fuel }
 
 let print_desc d =
-  Fmt.str "{src=%d;in=%d;lvl=%d;abl=%a;l=%b;b=%b;s=%b;p=%b;fuel=%a}" d.d_source
-    d.d_input d.d_level
+  Fmt.str "{src=%d;in=%d;lvl=%d;abl=%a;l=%b;sc=%b;b=%b;s=%b;p=%b;fuel=%a}"
+    d.d_source d.d_input d.d_level
     Fmt.(list ~sep:comma bool)
-    d.d_ablations d.d_layout d.d_bundle d.d_split d.d_pressure
+    d.d_ablations d.d_layout d.d_sched d.d_bundle d.d_split d.d_pressure
     Fmt.(option int)
     d.d_fuel
 
@@ -170,9 +173,14 @@ let test_stage_keys () =
     [ Stage.Key.layout ~regalloc_key:rk ~layout:true;
       Stage.Key.layout ~regalloc_key:rk ~layout:false ];
   let yk = Stage.Key.layout ~regalloc_key:rk ~layout:true in
+  (* the sched and bundle knobs share the stage: all four settings must
+     key distinctly or a --no-sched build could be served a scheduled
+     artifact *)
   distinct "bundle"
-    [ Stage.Key.bundle ~layout_key:yk ~bundle:true;
-      Stage.Key.bundle ~layout_key:yk ~bundle:false ]
+    [ Stage.Key.bundle ~layout_key:yk ~sched:true ~bundle:true;
+      Stage.Key.bundle ~layout_key:yk ~sched:true ~bundle:false;
+      Stage.Key.bundle ~layout_key:yk ~sched:false ~bundle:true;
+      Stage.Key.bundle ~layout_key:yk ~sched:false ~bundle:false ]
 
 (* Identical builds through one store share artifacts physically. *)
 let test_artifact_sharing () =
