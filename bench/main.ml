@@ -136,7 +136,22 @@ let () =
        (chk.a + recovery routines, Figure 4) is exercised by the dedicated
        tests in test/test_core.ml.@.";
     section "Ablation G: pre-bundle list scheduling on/off";
-    Fmt.pr "%s@." (Experiments.ablation_sched subset)
+    Fmt.pr "%s@." (Experiments.ablation_sched subset);
+    section "Ablation H: probabilistic expected-value speculation gate on/off";
+    Fmt.pr "%s@." (Experiments.ablation_prob subset);
+    section "Threshold sweep: cycles at ALAT as spec_threshold varies";
+    Fmt.pr "%s@."
+      (Experiments.threshold_sweep
+         ~thresholds:[ 0.0; 0.01; 0.05; 0.25; 1.0 ] subset);
+    Fmt.pr
+      "t=0.0 admits only never-conflicting sites (the binary verdict plus\n\
+       the check-traffic tax); t=1.0 — the default — delegates admission\n\
+       wholly to the expected-value ledger.  Conflict rates in these\n\
+       kernels are bimodal, either ~0 or ~1, so every threshold strictly\n\
+       between behaves like t=0.0; at t=1.0 the always-conflict kills\n\
+       enter the ledger, where the dual-scope rule prices each crossing\n\
+       against the binary shape and only ever drops promotions whose\n\
+       check traffic beats their saved latency.@."
   end;
   (* --- Bechamel micro-benchmarks of the compiler phases --- *)
   section "Compiler-phase micro-benchmarks (Bechamel)";

@@ -105,6 +105,14 @@ let no_pressure_arg =
                  every profitable candidate (the pre-cost-model behavior), \
                  for A/B-ing the spill-cost model")
 
+let no_prob_arg =
+  Arg.(value & flag
+       & info [ "no-prob" ]
+           ~doc:"disable the probabilistic expected-value speculation gate \
+                 and fall back to the binary may-touch verdict (the \
+                 pre-frequency behavior), for A/B-ing the conflict-rate \
+                 model")
+
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -190,7 +198,8 @@ let workload_of_file path =
     source = read_file path; train = []; ref_ = [] }
 
 let compile_cmd =
-  let run file level asm no_layout no_sched no_bundle no_split no_pressure =
+  let run file level asm no_layout no_sched no_bundle no_split no_pressure
+      no_prob =
     let w = workload_of_file file in
     let profile =
       match level with Pipeline.Alat -> Some (Pipeline.train_profile w) | _ -> None
@@ -198,7 +207,7 @@ let compile_cmd =
     let c =
       Pipeline.compile ?profile ~layout:(not no_layout)
         ~sched:(not no_sched) ~bundle:(not no_bundle) ~split:(not no_split)
-        ~pressure:(not no_pressure) ~input:[] w level
+        ~pressure:(not no_pressure) ~prob:(not no_prob) ~input:[] w level
     in
     if asm then
       List.iter
@@ -218,7 +227,8 @@ let compile_cmd =
   in
   Cmd.v (Cmd.info "compile" ~doc:"compile a MiniC file and dump IR/assembly")
     Term.(const run $ file_arg $ level_arg $ asm_arg $ no_layout_arg
-          $ no_sched_arg $ no_bundle_arg $ no_split_arg $ no_pressure_arg)
+          $ no_sched_arg $ no_bundle_arg $ no_split_arg $ no_pressure_arg
+          $ no_prob_arg)
 
 let no_cache_arg =
   Arg.(value & flag
@@ -230,7 +240,7 @@ let no_cache_arg =
 let run_cmd =
   let run file level ablations json trace trace_spans timeline
       timeline_interval no_layout no_sched no_bundle no_split no_pressure
-      no_cache =
+      no_prob no_cache =
     let w = workload_of_file file in
     let pcr =
       if no_cache then Pipeline.profile_compile_run_monolithic
@@ -243,7 +253,7 @@ let run_cmd =
                   pcr ?trace ?timeline ~ablations
                     ~layout:(not no_layout) ~sched:(not no_sched)
                     ~bundle:(not no_bundle) ~split:(not no_split)
-                    ~pressure:(not no_pressure) w level)))
+                    ~pressure:(not no_pressure) ~prob:(not no_prob) w level)))
     in
     if json then
       Fmt.pr "%s@." (J.to_string ~indent:2 (Emit.run_json ~name:w.Workload.name r))
@@ -260,7 +270,7 @@ let run_cmd =
     Term.(const run $ file_arg $ level_arg $ ablation_arg $ json_arg $ trace_arg
           $ trace_spans_arg $ timeline_arg $ timeline_interval_arg
           $ no_layout_arg $ no_sched_arg $ no_bundle_arg $ no_split_arg
-          $ no_pressure_arg $ no_cache_arg)
+          $ no_pressure_arg $ no_prob_arg $ no_cache_arg)
 
 let serve_cmd =
   let capacity_arg =

@@ -34,6 +34,25 @@ type t = {
      load latency still beats its marginal spill cost above it. *)
   pressure : bool;
   pressure_threshold : int; (* RSE physical pool: stacks beyond this spill *)
+  (* expected-value speculation gating over the probabilistic profile: a
+     kill is speculated past while its observed conflict rate stays at or
+     under [spec_threshold], and each check the candidate would plant is
+     debited from its benefit before the pressure gate sees it — an
+     issue-slot tax per expected execution plus P(conflict) x the real
+     recovery price (one reload for ld.c, recovery_penalty + reload for a
+     cascade chk.a).  The default threshold of 1.0 leaves admission
+     entirely to that ledger: the candidate is also priced at the binary
+     scope (threshold 0) and the cheaper shape is committed, so a
+     crossing that does not pay for itself falls back to a hard kill.
+     [prob = false] reproduces the binary-verdict pipeline bit for bit
+     (the --no-prob ablation): only P = 0 kills speculate and no check
+     cost is charged. *)
+  prob : bool;
+  spec_threshold : float; (* max tolerated P(conflict) per crossed kill *)
+  recovery_penalty : int;
+      (* cycles one failed check costs beyond the reload itself: the
+         machine's branch-to-recovery flush (Machine.check_recovery_penalty,
+         mispredict flush + redirect = 16 on the modeled pipeline) *)
   lat_l1 : int; (* saved cycles per eliminated integer (L1) load *)
   lat_fp : int; (* saved cycles per eliminated floating-point load *)
   spill_cost : int;
@@ -47,7 +66,8 @@ let conservative =
   { check_style = No_speculation; policy = Spec_never; control_spec = false;
     use_invala = false; max_rounds = 3; cold_ratio = 0.05; cascade = false;
     pressure = true; pressure_threshold = 24; lat_l1 = 2; lat_fp = 9;
-    spill_cost = 2; estimator = 2 }
+    spill_cost = 2; estimator = 2;
+    prob = true; spec_threshold = 1.0; recovery_penalty = 16 }
 
 (* The ORC -O3 baseline: conservative PRE plus software run-time
    disambiguation on scalars. *)

@@ -47,6 +47,23 @@ type t = {
   pressure_threshold : int;
       (** the RSE physical pool (24 stacked registers): co-resident
           frames growing past it turn promotions into spill/fill cycles *)
+  prob : bool;
+      (** expected-value speculation gating over the probabilistic
+          profile: kills speculate while their observed conflict rate
+          stays at or under [spec_threshold], every check a candidate
+          would plant is debited from its benefit (issue-slot tax plus
+          P(conflict) x recovery price), and each candidate commits the
+          cheaper of the threshold scope and the binary scope.  [false]
+          reproduces the binary-verdict pipeline bit for bit (the
+          --no-prob ablation). *)
+  spec_threshold : float;
+      (** maximum tolerated per-execution conflict probability for a
+          speculated kill; 1.0 (the default) delegates admission wholly
+          to the expected-value ledger (swept in EXPERIMENTS.md) *)
+  recovery_penalty : int;
+      (** cycles one failed check costs beyond the reload itself — the
+          machine's branch-to-recovery flush, 16 on the modeled
+          pipeline *)
   lat_l1 : int;  (** saved cycles per eliminated integer (L1-hit) load *)
   lat_fp : int;  (** saved cycles per eliminated floating-point load *)
   spill_cost : int;

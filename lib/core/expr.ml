@@ -55,6 +55,14 @@ type event =
   | Kill of {
       idx : int;
       spec : bool;
+      (* profiled conflict probability of this kill against the
+         expression's footprint (max over the intersecting locations):
+         the chance one execution of the kill invalidates the promoted
+         value.  0 for hard kills and under the binary-verdict policy;
+         under probability gating, spec kills carry 0 < prob <=
+         spec_threshold and the assessor debits their expected
+         check-recovery cost from the candidate's benefit. *)
+      prob : float;
       store : (Ops.addr * Ops.operand) option; (* for software checks *)
       (* cascade crossing (paper section 2.4): the kill is a check of our
          *address* temp; [cascade = Some cell] records the memory cell the
@@ -141,34 +149,57 @@ type collect_ctx = {
   policy : Srp_ssa.Spec_policy.t;
   style : Config.check_style;
   cascade : bool; (* allow promotion across address-temp checks (sec. 2.4) *)
+  (* expected-value speculation gating: [Some thr] marks a kill
+     speculative while its profiled conflict probability stays <= thr
+     (the binary verdict is the thr-is-exactly-zero special case);
+     [None] is the legacy binary-verdict path, bit-identical to the
+     pre-probability pipeline. *)
+  prob_gate : float option;
   cfg : Cfg.t;
 }
 
 (* Is a may-aliasing *store* checkable (speculative) under the configured
-   style?  ALAT: yes when the policy says the store never dynamically
-   touches the expression's footprint.  Software run-time disambiguation:
+   style, and with what conflict probability?  ALAT: speculative when the
+   profiled chance of the store touching the expression's footprint (max
+   over the intersecting locations) is zero — or, under probability
+   gating, at most the threshold.  Software run-time disambiguation:
    every aliased store to a *direct* expression is checkable with an
    address compare (Nicolau's scheme needs no profile), but indirect
    expressions are beyond it (paper section 5: the software scheme and
    SLAT promote scalars only). *)
 let store_kill_spec ctx ~direct ~site ~n_targets inter =
   match ctx.style with
-  | Config.No_speculation -> false
-  | Config.Software -> direct
+  | Config.No_speculation -> (false, 0.0)
+  | Config.Software -> (direct, 0.0)
   | Config.Alat ->
-    Location.Set.for_all
-      (fun loc ->
-        not (Srp_ssa.Spec_policy.store_may_touch ctx.policy ~site ~n_targets loc))
-      inter
+    let p =
+      Location.Set.fold
+        (fun loc acc ->
+          Float.max acc
+            (Srp_ssa.Spec_policy.store_conflict_prob ctx.policy ~site ~n_targets
+               loc))
+        inter 0.0
+    in
+    let spec =
+      match ctx.prob_gate with None -> p = 0.0 | Some thr -> p <= thr
+    in
+    (spec, p)
 
 let call_kill_spec ctx ~callee ~site inter =
   match ctx.style with
-  | Config.No_speculation | Config.Software -> false
+  | Config.No_speculation | Config.Software -> (false, 0.0)
   | Config.Alat ->
-    Location.Set.for_all
-      (fun loc ->
-        not (Srp_ssa.Spec_policy.call_may_touch ctx.policy ~callee ~site loc))
-      inter
+    let p =
+      Location.Set.fold
+        (fun loc acc ->
+          Float.max acc
+            (Srp_ssa.Spec_policy.call_conflict_prob ctx.policy ~callee ~site loc))
+        inter 0.0
+    in
+    let spec =
+      match ctx.prob_gate with None -> p = 0.0 | Some thr -> p <= thr
+    in
+    (spec, p)
 
 (* Events of expression [k] in block [node], in order. *)
 let events_in_block (ctx : collect_ctx) (k : key) (node : int) : event list =
@@ -186,13 +217,13 @@ let events_in_block (ctx : collect_ctx) (k : key) (node : int) : event list =
           | Instr.P_ld_a | Instr.P_ld_sa ->
             (* an arming load from an earlier promotion: eliminating it
                would disarm the ALAT entry its checks rely on — a barrier *)
-            acc := Kill { idx; spec = false; store = None; cascade = None } :: !acc)
+            acc := Kill { idx; spec = false; prob = 0.0; store = None; cascade = None } :: !acc)
         else begin
           (* the single definition of our address temp: a hard kill so no
              insertion can float above the address's birth *)
           match k.base with
           | Ops.Reg r when Temp.equal r dst ->
-            acc := Kill { idx; spec = false; store = None; cascade = None } :: !acc
+            acc := Kill { idx; spec = false; prob = 0.0; store = None; cascade = None } :: !acc
           | _ -> ()
         end
       | Instr.Check { dst; addr; mty; kind; _ } ->
@@ -207,12 +238,14 @@ let events_in_block (ctx : collect_ctx) (k : key) (node : int) : event list =
           match k.base with Ops.Reg r -> Temp.equal r dst | Ops.Sym _ -> false
         in
         if equal_key k (key_of_addr addr mty) then
-          acc := Kill { idx; spec = false; store = None; cascade = None } :: !acc
+          acc := Kill { idx; spec = false; prob = 0.0; store = None; cascade = None } :: !acc
         else if is_base_redef then begin
           ignore kind;
           if ctx.cascade && ctx.style = Config.Alat then
-            acc := Kill { idx; spec = true; store = None; cascade = Some addr } :: !acc
-          else acc := Kill { idx; spec = false; store = None; cascade = None } :: !acc
+            acc :=
+              Kill { idx; spec = true; prob = 0.0; store = None; cascade = Some addr }
+              :: !acc
+          else acc := Kill { idx; spec = false; prob = 0.0; store = None; cascade = None } :: !acc
         end
       | Instr.Store { src; addr; mty; site } -> (
         match store_relation ~mgr:ctx.mgr ~func ~fp k addr mty with
@@ -228,17 +261,17 @@ let events_in_block (ctx : collect_ctx) (k : key) (node : int) : event list =
           in
           let inter = Location.Set.inter fp store_fp in
           let n_targets = Location.Set.cardinal store_fp in
-          let spec =
+          let spec, prob =
             store_kill_spec ctx ~direct:(is_direct k) ~site ~n_targets inter
           in
-          acc := Kill { idx; spec; store = Some (addr, src); cascade = None } :: !acc)
+          acc := Kill { idx; spec; prob; store = Some (addr, src); cascade = None } :: !acc)
       | Instr.Call { callee; site; _ } ->
         if not (Program.is_builtin callee) then begin
           let mod_set = Modref.mod_of ctx.modref callee in
           let inter = Location.Set.inter fp mod_set in
           if not (Location.Set.is_empty inter) then begin
-            let spec = call_kill_spec ctx ~callee ~site inter in
-            acc := Kill { idx; spec; store = None; cascade = None } :: !acc
+            let spec, prob = call_kill_spec ctx ~callee ~site inter in
+            acc := Kill { idx; spec; prob; store = None; cascade = None } :: !acc
           end
         end
       | Instr.Sw_check { dst; _ } | Instr.Alloc { dst; _ } ->
@@ -248,12 +281,12 @@ let events_in_block (ctx : collect_ctx) (k : key) (node : int) : event list =
            but be conservative anyway *)
         (match k.base with
         | Ops.Reg r when Temp.equal r dst ->
-          acc := Kill { idx; spec = false; store = None; cascade = None } :: !acc
+          acc := Kill { idx; spec = false; prob = 0.0; store = None; cascade = None } :: !acc
         | _ -> ())
       | Instr.Bin { dst; _ } | Instr.Un { dst; _ } | Instr.Mov { dst; _ } -> (
         match k.base with
         | Ops.Reg r when Temp.equal r dst ->
-          acc := Kill { idx; spec = false; store = None; cascade = None } :: !acc
+          acc := Kill { idx; spec = false; prob = 0.0; store = None; cascade = None } :: !acc
         | _ -> ())
       | Instr.Invala _ -> ())
     blk.Block.instrs;

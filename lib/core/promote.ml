@@ -62,21 +62,66 @@ let block_count_fn (config : Config.t) =
    Accepted candidates commit through the unchanged [run_expr] in
    original candidate order, so temp and site generation stay
    deterministic. *)
+(* Per-candidate scope choice under probability gating.  Each candidate is
+   assessed twice: once with the configured threshold (kills up to
+   P <= thr crossed speculatively) and once at thr = 0, the binary-verdict
+   scope priced under the same check-traffic model.  Every downstream gate
+   — the expected-value rejection, the ranking, the pressure comparison —
+   reads the threshold-scope assessment: that scope is what the policy
+   asked for, and its debit is the candidate's honest price.  The
+   *committed* shape, though, is whichever scope nets more, ties to
+   binary — a probabilistic extension must pay for itself or the
+   candidate keeps its legacy shape.  When even the gate says the
+   speculation loses (as_conflict > 0 and as_benefit <= 0, which the
+   returned assessment preserves), the fallback is scope-aware: a
+   check-free binary scope keeps the plain redundancy elimination (the
+   crossed kills just stay hard), but a binary scope that still carries
+   checks rests on the very traffic estimates the debit just flagged as
+   conflict-heavy, so the candidate stays declined.  The legacy path
+   (prob_gate = None) takes none of this machinery. *)
+let choose_scope cm_ctx (collect : Expr.collect_ctx) f key :
+    Expr.collect_ctx * Ssapre.assessment =
+  let a_p = Ssapre.assess cm_ctx collect f key in
+  match collect.Expr.prob_gate with
+  | None -> (collect, a_p)
+  | Some thr ->
+    let collect_bin = { collect with Expr.prob_gate = Some 0.0 } in
+    let a_b =
+      if thr = 0.0 then a_p else Ssapre.assess cm_ctx collect_bin f key
+    in
+    if a_p.Ssapre.as_conflict > 0 && a_p.Ssapre.as_benefit <= 0 then
+      if a_b.Ssapre.as_conflict > 0 then
+        (* a_p keeps the EV-rejection condition in force *)
+        (collect_bin, a_p)
+      else (collect_bin, a_b)
+    else if a_p.Ssapre.as_benefit > a_b.Ssapre.as_benefit then (collect, a_p)
+    else (collect_bin, a_p)
+
+(* Does the expected-value gate decline this assessment outright?  Only a
+   probability-gated candidate can carry a nonzero debit, so the legacy
+   paths never reject. *)
+let ev_rejected (a : Ssapre.assessment) =
+  a.Ssapre.as_conflict > 0 && a.Ssapre.as_benefit <= 0
+
 let select_gated (config : Config.t) cm_ctx collect f keys ~(est : pressure)
     ~(overflow_calls : int) ~(claimed : int ref * int ref) stats : unit =
   let assessed =
-    List.mapi (fun i key -> (i, key, Ssapre.assess cm_ctx collect f key)) keys
+    List.mapi
+      (fun i key ->
+        let chosen, asmt = choose_scope cm_ctx collect f key in
+        (i, key, chosen, asmt))
+      keys
   in
   let ranked =
     List.stable_sort
-      (fun (_, _, a) (_, _, b) ->
+      (fun (_, _, _, a) (_, _, _, b) ->
         Int.compare b.Ssapre.as_benefit a.Ssapre.as_benefit)
       assessed
   in
   let ci, cf = claimed in
   let accepted = Hashtbl.create 8 in
   List.iter
-    (fun (i, key, asmt) ->
+    (fun (i, key, _, asmt) ->
       if asmt.Ssapre.as_work then begin
         let counter, base, spill_occ =
           match Srp_ssa.Spec_policy.latency_class key.Expr.mty with
@@ -84,7 +129,16 @@ let select_gated (config : Config.t) cm_ctx collect f keys ~(est : pressure)
           | Srp_ssa.Spec_policy.Lat_fp -> (cf, est.peak_fp, asmt.Ssapre.as_occ)
         in
         let projected = base + !counter + 1 in
-        if
+        (* Expected-value gate: [as_benefit] is already net of the
+           candidate's expected check-traffic bill, so the pressure
+           comparison below reads the shared ledger.  A candidate whose
+           debit is nonzero and eats the whole saving fails the paper's
+           inequality P x recovery < saved latency outright — promoting
+           it would trade load latency for ALAT-thrashing check traffic
+           no matter how empty the register pool is.  Under the binary
+           verdict the debit is always 0 and this branch never fires. *)
+        if ev_rejected asmt then ()
+        else if
           projected <= config.Config.pressure_threshold
           || asmt.Ssapre.as_benefit > config.Config.spill_cost * spill_occ
         then begin
@@ -93,10 +147,11 @@ let select_gated (config : Config.t) cm_ctx collect f keys ~(est : pressure)
         end
       end)
     ranked;
-  List.iteri
-    (fun i key ->
-      if Hashtbl.mem accepted i then Ssapre.run_expr cm_ctx collect f key stats)
-    keys
+  List.iter
+    (fun (i, key, chosen_collect, _) ->
+      if Hashtbl.mem accepted i then
+        Ssapre.run_expr cm_ctx chosen_collect f key stats)
+    assessed
 
 (* Promote every function of [prog] in place.  [pressure] is the
    per-function estimator callback; the gate is active only when both the
@@ -175,9 +230,20 @@ let run ?(config = Config.baseline) ?pressure (prog : Program.t) : result =
             in
             if keys <> [] then begin
               let cfg = Cfg.build f in
+              (* Probability gating needs measured frequencies: it is
+                 live only for the profiled ALAT level.  The heuristic
+                 policy's synthetic 0/1 verdicts carry no expectation to
+                 price, so alat-heuristic keeps the binary pipeline. *)
+              let prob_gate =
+                match (config.Config.policy, config.Config.check_style) with
+                | Config.Spec_profile _, Config.Alat
+                  when config.Config.prob ->
+                  Some config.Config.spec_threshold
+                | _ -> None
+              in
               let collect =
                 { Expr.mgr; modref; policy; style = config.Config.check_style;
-                  cascade = config.Config.cascade; cfg }
+                  cascade = config.Config.cascade; prob_gate; cfg }
               in
               let before = (func_stats f).Ssapre.exprs_promoted in
               (match Option.bind estimator (fun e -> e (Func.name f)) with
@@ -186,10 +252,19 @@ let run ?(config = Config.baseline) ?pressure (prog : Program.t) : result =
                   ~overflow_calls:(overflow_calls f) ~claimed:(claimed_for f)
                   (func_stats f)
               | None ->
-                (* no gate (or no estimate for this function): the exact
-                   legacy promote-everything path *)
+                (* No pressure gate (or no estimate for this function):
+                   the legacy promote-everything path — but the
+                   expected-value scope choice still applies under
+                   probability gating; it belongs to the prob feature,
+                   not the pressure feature, and composes with
+                   --no-pressure.  With prob_gate = None [choose_scope]
+                   returns the input collect and a zero-debit
+                   assessment, so this is the exact legacy path. *)
                 List.iter
-                  (fun key -> Ssapre.run_expr cm_ctx collect f key (func_stats f))
+                  (fun key ->
+                    let chosen, asmt = choose_scope cm_ctx collect f key in
+                    if not (ev_rejected asmt) then
+                      Ssapre.run_expr cm_ctx chosen f key (func_stats f))
                   keys);
               if (func_stats f).Ssapre.exprs_promoted > before then
                 round_work := true

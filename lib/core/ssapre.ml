@@ -50,9 +50,12 @@ type vinfo = {
   v_def : vdef;
   mutable v_uses : (int * int * Temp.t) list; (* redundant loads *)
   (* speculative kills crossed while this version was current:
-     (node, idx, software-check info, cascade address-cell) *)
+     (node, idx, software-check info, cascade address-cell, conflict
+     probability — the profiled chance one execution of the kill
+     invalidates the promoted value, 0 under the binary verdict) *)
   mutable v_spec_kills :
-    (int * int * (Ops.addr * Ops.operand) option * Ops.addr option) list;
+    (int * int * (Ops.addr * Ops.operand) option * Ops.addr option * float)
+      list;
   mutable v_feeds : (phi * bool) list; (* (phi fed, last_real at the edge) *)
   mutable v_lazy : bool; (* reads of this version must be checks *)
   mutable v_need : bool; (* value must materialize in the promotion temp *)
@@ -166,11 +169,11 @@ let rename (a : analysis) : unit =
         | Expr.Def { idx; src } ->
           let v = new_version (VD_store { node; idx; src }) in
           push (S_ver { v; last_real = true })
-        | Expr.Kill { idx; spec; store; cascade } -> (
+        | Expr.Kill { idx; spec; prob; store; cascade } -> (
           if spec then (
             match top () with
             | S_ver { v; _ } ->
-              v.v_spec_kills <- (node, idx, store, cascade) :: v.v_spec_kills
+              v.v_spec_kills <- (node, idx, store, cascade, prob) :: v.v_spec_kills
             | S_bot -> ())
           else push S_bot))
       a.events.(node);
@@ -641,10 +644,28 @@ let prepare (ctx : codemotion_ctx) (collect : Expr.collect_ctx) (f : Func.t)
 (* Weighted promotion benefit of a prepared candidate: per eliminable use,
    the load latency its class saves (2-cycle L1 for integers, 9 cycles for
    floats), scaled by the training execution count of the use's block when
-   a profile is available.  [as_occ] is the matching dynamic occurrence
+   a profile is available, minus the candidate's expected speculation bill
+   [as_conflict] — per check the rewriter would plant, (issue slot +
+   P(conflict) x recovery price) x the check block's training count,
+   rounded up so a nonzero expectation is never priced free.  The recovery
+   price mirrors the machine: a plain ld.c miss re-runs one ordinary load,
+   while a cascade chk.a failure also pays the recovery-flush penalty.
+   The bill is only charged under probability gating, so [as_benefit]
+   degrades to the legacy gross figure exactly on the binary-verdict
+   path; under gating the pressure gate and the expected-value gate read
+   one shared ledger.  [as_occ] is the matching dynamic occurrence
    estimate, the unit the spill side of the ledger is charged in. *)
+(* Amortized cycles one *executed* check costs even when it hits: a ld.c
+   needs no memory slot and retires in zero latency, but it still occupies
+   bundle space, keeps its ALAT entry live, and feeds the RSE an extra
+   stacked register.  A quarter cycle per execution matches the overhead
+   measured on the kernel suite; whole-cycle charges over-tax checks that
+   ride in otherwise short issue groups. *)
+let check_issue_cost = 0.25
+
 type assessment = {
-  as_benefit : int;
+  as_benefit : int; (* net: gross saved latency - as_conflict *)
+  as_conflict : int; (* expected check-recovery cycles, rounded up *)
   as_occ : int;
   as_work : bool;
 }
@@ -665,6 +686,7 @@ let assess (ctx : codemotion_ctx) (collect : Expr.collect_ctx) (f : Func.t)
   in
   let benefit = ref 0 in
   let occ = ref 0 in
+  let conflict = ref 0.0 in
   List.iter
     (fun v ->
       List.iter
@@ -675,9 +697,68 @@ let assess (ctx : codemotion_ctx) (collect : Expr.collect_ctx) (f : Func.t)
           in
           occ := !occ + w;
           benefit := !benefit + (w * lat))
-        v.v_uses)
+        v.v_uses;
+      (* Expected speculation bill, mirrored off the exact check set
+         [codemotion] plants: needed versions only, and a non-WBA Phi
+         version checks only the kills some save dominates (its uses
+         self-materialize, so a check before any save would consult a
+         stale entry).  Pricing follows the machine: every executed
+         check occupies an issue slot, and a conflicting one
+         additionally pays the real recovery price — a plain ld.c miss
+         is one ordinary reload, only a cascade chk.a trips the
+         recovery-flush penalty.  The bill is charged only under
+         probability gating so the binary verdict keeps its exact
+         legacy ledger. *)
+      if v.v_need && collect.Expr.prob_gate <> None then begin
+        let pos_dominates (n0, i0) (n1, i1) =
+          if n0 = n1 then i0 < i1
+          else Dominance.strictly_dominates a.dom n0 n1
+        in
+        let checked =
+          match v.v_def with
+          | VD_load _ | VD_store _ -> v.v_spec_kills
+          | VD_phi phi when wba phi -> v.v_spec_kills
+          | VD_phi _ ->
+            let uses =
+              List.sort
+                (fun (n1, i1, _) (n2, i2, _) ->
+                  if n1 = n2 then Int.compare i1 i2 else Int.compare n1 n2)
+                v.v_uses
+            in
+            let saved = ref [] in
+            List.iter
+              (fun (node, idx, _) ->
+                if
+                  not
+                    (List.exists (fun p -> pos_dominates p (node, idx)) !saved)
+                then saved := (node, idx) :: !saved)
+              uses;
+            List.filter
+              (fun (node, idx, _, _, _) ->
+                List.exists (fun p -> pos_dominates p (node, idx)) !saved)
+              v.v_spec_kills
+        in
+        List.iter
+          (fun (node, _, _, cascade, p) ->
+            let w =
+              Srp_ssa.Spec_policy.occurrence_weight policy
+                ~block_count:(block_count node)
+            in
+            let recover =
+              match cascade with
+              | Some _ -> ctx.config.Config.recovery_penalty + lat
+              | None -> lat
+            in
+            conflict :=
+              !conflict
+              +. (float_of_int w
+                 *. (check_issue_cost +. (p *. float_of_int recover))))
+          checked
+      end)
     a.versions;
-  { as_benefit = !benefit; as_occ = !occ; as_work = p.p_any_work }
+  let conflict = int_of_float (Float.ceil !conflict) in
+  { as_benefit = !benefit - conflict; as_conflict = conflict; as_occ = !occ;
+    as_work = p.p_any_work }
 
 (* The rewriting half: commit a prepared candidate's edits to the
    function.  Must run against the same function state [prepare] saw. *)
@@ -802,7 +883,7 @@ let codemotion (ctx : codemotion_ctx) (_collect : Expr.collect_ctx)
             (* value arrives in t_e via operand insertions/materializations *)
             List.iter (fun (node, idx, dst) -> rewrite_reload v node idx dst) v.v_uses
           | VD_phi _ -> ());
-          let emit_check (node, idx, store_info, cascade_cell) =
+          let emit_check (node, idx, store_info, cascade_cell, _prob) =
             match ctx.config.Config.check_style with
             | Config.Alat -> (
               match cascade_cell with
@@ -882,7 +963,7 @@ let codemotion (ctx : codemotion_ctx) (_collect : Expr.collect_ctx)
                 end)
               uses;
             List.iter
-              (fun ((node, idx, _, _) as kill) ->
+              (fun ((node, idx, _, _, _) as kill) ->
                 if List.exists (fun p -> pos_dominates p (node, idx)) !saved then
                   emit_check kill)
               v.v_spec_kills

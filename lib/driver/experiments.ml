@@ -60,12 +60,13 @@ let pool_map ~(ntasks : int) (f : int -> 'a) : ('a, exn) result array =
    the fixed reference the figures are normalized against.  [cache]
    shares stage artifacts between the two builds (one lower, one input
    application per input set). *)
-let run_pair ?fuel ?cache ?ablations ?sched (w : Workload.t) : bench_result =
+let run_pair ?fuel ?cache ?ablations ?sched ?prob (w : Workload.t) :
+    bench_result =
   let base =
-    Pipeline.profile_compile_run ?fuel ?cache ?sched w Pipeline.Baseline
+    Pipeline.profile_compile_run ?fuel ?cache ?sched ?prob w Pipeline.Baseline
   in
   let spec =
-    Pipeline.profile_compile_run ?fuel ?cache ?ablations ?sched w
+    Pipeline.profile_compile_run ?fuel ?cache ?ablations ?sched ?prob w
       Pipeline.Alat
   in
   if base.Pipeline.output <> spec.Pipeline.output then
@@ -84,7 +85,7 @@ let run_pair ?fuel ?cache ?ablations ?sched (w : Workload.t) : bench_result =
    lowers each source once instead of thrice (train + 2 levels).  The
    baseline-vs-speculative output check happens after the join, exactly
    as in the sequential run_pair. *)
-let run_all ?fuel ?cache ?sched (workloads : Workload.t list) :
+let run_all ?fuel ?cache ?sched ?prob (workloads : Workload.t list) :
     bench_result list =
   let ws = Array.of_list workloads in
   let n = Array.length ws in
@@ -92,7 +93,7 @@ let run_all ?fuel ?cache ?sched (workloads : Workload.t list) :
   let run_task i =
     let w = ws.(i / 2) in
     let level = if i mod 2 = 0 then Pipeline.Baseline else Pipeline.Alat in
-    Pipeline.profile_compile_run ?fuel ?cache ?sched w level
+    Pipeline.profile_compile_run ?fuel ?cache ?sched ?prob w level
   in
   let slots = pool_map ~ntasks run_task in
   let result i =
@@ -261,3 +262,73 @@ let ablation_sched ?fuel workloads =
       (w.Workload.name, ca, cb, red))
     workloads
   |> render_compare ~label_a:"no-sched" ~label_b:"sched"
+
+(* Ablation H: the probabilistic expected-value speculation gate on/off.
+   Both runs are the full ALAT pipeline; off is the binary may-touch
+   verdict (the pre-frequency behavior, [--no-prob]), on folds per-site
+   conflict rates into the speculation decision and the promotion
+   ledger. *)
+let ablation_prob ?fuel workloads =
+  List.map
+    (fun w ->
+      let off = Pipeline.profile_compile_run ?fuel ~prob:false w Pipeline.Alat in
+      let on = Pipeline.profile_compile_run ?fuel ~prob:true w Pipeline.Alat in
+      if off.Pipeline.output <> on.Pipeline.output then
+        raise
+          (Output_mismatch
+             (Fmt.str "%s: prob ablation outputs differ!" w.Workload.name));
+      let ca = off.Pipeline.counters.C.cycles
+      and cb = on.Pipeline.counters.C.cycles in
+      let red = 100.0 *. float_of_int (ca - cb) /. float_of_int (max 1 ca) in
+      (w.Workload.name, ca, cb, red))
+    workloads
+  |> render_compare ~label_a:"no-prob" ~label_b:"prob"
+
+(* Threshold sweep: cycles at ALAT as [spec_threshold] varies, against
+   the binary-verdict column (no-prob), one row per workload.  The sweep
+   drives {!Srp_core.Promote.run} directly (like ablations A-F) so each
+   cell differs only in the promotion decision, and checks program
+   output equality across every cell. *)
+let threshold_sweep ?fuel ~(thresholds : float list)
+    (workloads : Workload.t list) : string =
+  let rows =
+    List.map
+      (fun w ->
+        let profile = Pipeline.train_profile w in
+        let run config =
+          let ir = Srp_frontend.Lower.compile_source w.Workload.source in
+          Workload.apply_input ir w.Workload.ref_;
+          ignore
+            (Srp_core.Promote.run ~config ~pressure:(Pipeline.pressure_fn ir)
+               ir);
+          let target = Srp_target.Codegen.gen_program ir in
+          Srp_machine.Machine.run_program ?fuel target
+        in
+        let alat = Srp_core.Config.alat ~profile in
+        let _, out0, c0 = run { alat with Srp_core.Config.prob = false } in
+        let cells =
+          List.map
+            (fun t ->
+              let _, out, c =
+                run { alat with Srp_core.Config.spec_threshold = t }
+              in
+              if out <> out0 then
+                raise
+                  (Output_mismatch
+                     (Fmt.str "%s: threshold-sweep outputs differ at %.3f!"
+                        w.Workload.name t));
+              c.C.cycles)
+            thresholds
+        in
+        (w.Workload.name, c0.C.cycles, cells))
+      workloads
+  in
+  Srp_support.Pp_util.render_table
+    ~header:
+      ("benchmark" :: "no-prob cycles"
+      :: List.map (fun t -> Fmt.str "t=%.3f" t) thresholds)
+    ~rows:
+      (List.map
+         (fun (n, c0, cells) ->
+           n :: string_of_int c0 :: List.map string_of_int cells)
+         rows)

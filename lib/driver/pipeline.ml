@@ -305,11 +305,15 @@ let train_profile ?cache (w : Workload.t) : Alias_profile.t =
    closed-interval allocator (the --no-split ablation); [pressure:false]
    turns the pressure gate off (the --no-pressure ablation, flowing
    through the config so the promote content key records it);
-   [sched:false] skips the pre-bundle list scheduler (the --no-sched
-   ablation, recorded in the bundle stage key). *)
+   [prob:false] turns probabilistic speculation gating off — the exact
+   binary-verdict legacy path, also recorded in the promote content key
+   (the --no-prob ablation); [sched:false] skips the pre-bundle list
+   scheduler (the --no-sched ablation, recorded in the bundle stage
+   key). *)
 let compile ?cache ?profile ?(ablations = []) ?(layout = true)
     ?(sched = true) ?(bundle = true) ?(split = true) ?(pressure = true)
-    ~(input : Workload.input) (w : Workload.t) (level : level) : compiled =
+    ?(prob = true) ~(input : Workload.input) (w : Workload.t) (level : level)
+    : compiled =
   let lower_key, lowered = lower_stage cache w.Workload.source in
   let applied_key, applied = apply_stage cache ~lower_key lowered input in
   let config =
@@ -319,7 +323,8 @@ let compile ?cache ?profile ?(ablations = []) ?(layout = true)
       let config = List.fold_left (Fun.flip apply_ablation) config ablations in
       Some
         { config with
-          Srp_core.Config.pressure = config.Srp_core.Config.pressure && pressure
+          Srp_core.Config.pressure = config.Srp_core.Config.pressure && pressure;
+          prob = config.Srp_core.Config.prob && prob
         }
   in
   let promote_key, ir, promote =
@@ -354,7 +359,7 @@ let run ?fuel ?trace ?timeline (c : compiled) : run_result =
    builds, so parse/lower fires once per distinct source (the seed path
    lowered the same source twice per alat run). *)
 let profile_compile_run ?fuel ?trace ?timeline ?cache ?ablations ?layout
-    ?sched ?bundle ?split ?pressure (w : Workload.t) (level : level) :
+    ?sched ?bundle ?split ?pressure ?prob (w : Workload.t) (level : level) :
     run_result =
   let cache =
     match cache with Some c -> c | None -> Stage.create ~capacity:16 ()
@@ -366,7 +371,7 @@ let profile_compile_run ?fuel ?trace ?timeline ?cache ?ablations ?layout
   in
   let c =
     compile ~cache ?profile ?ablations ?layout ?sched ?bundle ?split
-      ?pressure ~input:w.Workload.ref_ w level
+      ?pressure ?prob ~input:w.Workload.ref_ w level
   in
   run ?fuel ?trace ?timeline c
 
@@ -387,7 +392,8 @@ let train_profile_monolithic (w : Workload.t) : Alias_profile.t =
 
 let compile_monolithic ?profile ?(ablations = []) ?(layout = true)
     ?(sched = true) ?(bundle = true) ?(split = true) ?(pressure = true)
-    ~(input : Workload.input) (w : Workload.t) (level : level) : compiled =
+    ?(prob = true) ~(input : Workload.input) (w : Workload.t) (level : level)
+    : compiled =
   let ir = Srp_frontend.Lower.compile_source w.Workload.source in
   Workload.apply_input ir input;
   let promote =
@@ -397,7 +403,8 @@ let compile_monolithic ?profile ?(ablations = []) ?(layout = true)
       let config = List.fold_left (Fun.flip apply_ablation) config ablations in
       let config =
         { config with
-          Srp_core.Config.pressure = config.Srp_core.Config.pressure && pressure
+          Srp_core.Config.pressure = config.Srp_core.Config.pressure && pressure;
+          prob = config.Srp_core.Config.prob && prob
         }
       in
       Some (Srp_core.Promote.run ~config ~pressure:(pressure_fn ir) ir)
@@ -410,7 +417,7 @@ let compile_monolithic ?profile ?(ablations = []) ?(layout = true)
   { level; ablations; split; ir; target; promote }
 
 let profile_compile_run_monolithic ?fuel ?trace ?timeline ?ablations ?layout
-    ?sched ?bundle ?split ?pressure (w : Workload.t) (level : level) :
+    ?sched ?bundle ?split ?pressure ?prob (w : Workload.t) (level : level) :
     run_result =
   let profile =
     match level with
@@ -419,6 +426,6 @@ let profile_compile_run_monolithic ?fuel ?trace ?timeline ?ablations ?layout
   in
   let c =
     compile_monolithic ?profile ?ablations ?layout ?sched ?bundle ?split
-      ?pressure ~input:w.Workload.ref_ w level
+      ?pressure ?prob ~input:w.Workload.ref_ w level
   in
   run ?fuel ?trace ?timeline c

@@ -86,8 +86,11 @@ val pressure_fn : Program.t -> string -> Srp_core.Promote.pressure option
     the pressure-aware candidate gate in the promoter; off is the
     [--no-pressure] ablation, reproducing promote-everything exactly (it
     flows through the config, so the promote content key records it).
-    [cache] shares stage artifacts with other builds; without it the
-    stages still run (one lower, clones before mutation) but retain
+    [prob] (default on) keeps the probabilistic expected-value
+    speculation gate; off is the [--no-prob] ablation, the exact
+    binary-verdict legacy path (also recorded in the promote content
+    key).  [cache] shares stage artifacts with other builds; without it
+    the stages still run (one lower, clones before mutation) but retain
     nothing. *)
 val compile :
   ?cache:Stage.store ->
@@ -98,6 +101,7 @@ val compile :
   ?bundle:bool ->
   ?split:bool ->
   ?pressure:bool ->
+  ?prob:bool ->
   input:Workload.input ->
   Workload.t ->
   level ->
@@ -131,6 +135,7 @@ val profile_compile_run :
   ?bundle:bool ->
   ?split:bool ->
   ?pressure:bool ->
+  ?prob:bool ->
   Workload.t ->
   level ->
   run_result
@@ -151,6 +156,7 @@ val compile_monolithic :
   ?bundle:bool ->
   ?split:bool ->
   ?pressure:bool ->
+  ?prob:bool ->
   input:Workload.input ->
   Workload.t ->
   level ->
@@ -166,6 +172,7 @@ val profile_compile_run_monolithic :
   ?bundle:bool ->
   ?split:bool ->
   ?pressure:bool ->
+  ?prob:bool ->
   Workload.t ->
   level ->
   run_result

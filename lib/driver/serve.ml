@@ -33,23 +33,25 @@ type job = {
   j_bundle : bool;
   j_split : bool;
   j_pressure : bool;
+  j_prob : bool;
   j_fuel : int option;
 }
 
 (* The job's content key: everything that determines its result.  Two
    jobs with equal keys are the same compile-and-run, whatever their ids
-   say — the second is answered from the first's result.  "v3": the
-   sched backend flag joined the key (PR 9). *)
+   say — the second is answered from the first's result.  "v4": the
+   prob gating flag joined the key; "v3" added the sched backend flag
+   (PR 9). *)
 let job_key (j : job) : string =
   Stage.Key.digest
-    ([ "serve-job"; "v3"; j.j_w.Workload.source;
+    ([ "serve-job"; "v4"; j.j_w.Workload.source;
        Marshal.to_string j.j_w.Workload.train [];
        Marshal.to_string j.j_w.Workload.ref_ [];
        Pipeline.level_name j.j_level ]
     @ List.map Pipeline.ablation_name j.j_ablations
     @ [ string_of_bool j.j_layout; string_of_bool j.j_sched;
         string_of_bool j.j_bundle; string_of_bool j.j_split;
-        string_of_bool j.j_pressure;
+        string_of_bool j.j_pressure; string_of_bool j.j_prob;
         (match j.j_fuel with None -> "" | Some f -> string_of_int f) ])
 
 let ( let* ) = Result.bind
@@ -114,6 +116,7 @@ let parse_job ~(lookup : string -> Workload.t option) ~(line_no : int)
     let* bundle = bool_field ~default:true "bundle" js in
     let* split = bool_field ~default:true "split" js in
     let* pressure = bool_field ~default:true "pressure" js in
+    let* prob = bool_field ~default:true "prob" js in
     let* fuel =
       match Json.member "fuel" js with
       | None -> Ok None
@@ -124,7 +127,8 @@ let parse_job ~(lookup : string -> Workload.t option) ~(line_no : int)
     in
     Ok { j_id = id; j_w = w; j_level = level; j_ablations = ablations;
          j_layout = layout; j_sched = sched; j_bundle = bundle;
-         j_split = split; j_pressure = pressure; j_fuel = fuel }
+         j_split = split; j_pressure = pressure; j_prob = prob;
+         j_fuel = fuel }
   in
   (id, job)
 
@@ -143,7 +147,7 @@ let run_job ~cache ~key (j : job) : Pipeline.run_result * Stats.Scope.t =
           Pipeline.profile_compile_run ?fuel:j.j_fuel ~cache
             ~ablations:j.j_ablations ~layout:j.j_layout ~sched:j.j_sched
             ~bundle:j.j_bundle ~split:j.j_split ~pressure:j.j_pressure
-            j.j_w j.j_level))
+            ~prob:j.j_prob j.j_w j.j_level))
 
 let result_json (j : job) ~key ~deduped (r : Pipeline.run_result)
     (scope : Stats.Scope.t) : Json.t =

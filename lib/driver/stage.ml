@@ -83,11 +83,13 @@ module Key = struct
       | Srp_core.Config.Spec_profile p ->
         "profile:" ^ Digest.to_hex (Digest.string (Alias_profile.save p))
     in
-    (* "v2": the pressure-gate parameters joined the config.  Every knob
-       that can change the promoter's output must be here, or a tuned
-       threshold could be served a stale cached promote artifact. *)
+    (* "v3": the probabilistic expected-value gate knobs joined the
+       config (prob / spec_threshold / recovery_penalty); "v2" added the
+       pressure-gate parameters.  Every knob that can change the
+       promoter's output must be here, or a tuned threshold could be
+       served a stale cached promote artifact. *)
     digest
-      [ "config"; "v2"; style; policy;
+      [ "config"; "v3"; style; policy;
         string_of_bool c.Srp_core.Config.control_spec;
         string_of_bool c.Srp_core.Config.use_invala;
         string_of_int c.Srp_core.Config.max_rounds;
@@ -98,7 +100,10 @@ module Key = struct
         string_of_int c.Srp_core.Config.lat_l1;
         string_of_int c.Srp_core.Config.lat_fp;
         string_of_int c.Srp_core.Config.spill_cost;
-        string_of_int c.Srp_core.Config.estimator ]
+        string_of_int c.Srp_core.Config.estimator;
+        string_of_bool c.Srp_core.Config.prob;
+        Printf.sprintf "%h" c.Srp_core.Config.spec_threshold;
+        string_of_int c.Srp_core.Config.recovery_penalty ]
 
   let promote ~(applied_key : string) ~(config : string) =
     digest [ "promote"; "v1"; applied_key; config ]

@@ -2,14 +2,24 @@
    (paper section 3.1): an update/use of location L at site s is marked
    speculative when, per the policy, it is unlikely to touch L at runtime.
 
-   - [Profile]: L not in the site's observed target set from alias
-     profiling (the paper's primary scheme; fig. 5).  Call sites use the
-     callee's *dynamic* mod set: the union of targets its store sites (and
-     transitively its callees') were observed to write.
+   - [Profile]: answers come with a conflict *probability* — the fraction
+     of the site's training executions that touched L (the paper's primary
+     scheme, fig. 5, extended with the probability-annotated alias facts
+     of the probabilistic-alias-analysis line of work).  Call sites use
+     the callee's *dynamic* mod rates: per-invocation touch frequencies of
+     the locations its store sites (and transitively its callees') were
+     observed to write.
    - [Heuristic]: no profile; speculate that an indirect store does not
      touch a location unless the points-to set is a singleton (a crude
-     stand-in the paper mentions as "heuristic rules").
-   - [Never]: the conservative baseline — nothing is speculative. *)
+     stand-in the paper mentions as "heuristic rules").  Probabilities are
+     binary.
+   - [Never]: the conservative baseline — nothing is speculative; every
+     probability is 1.
+
+   The boolean predicates are defined as [probability > 0], so the legacy
+   set-membership verdicts are preserved exactly: a location is in a
+   site's observed target set iff its hit count — hence its conflict
+   rate — is nonzero. *)
 
 open Srp_ir
 module Location = Srp_alias.Location
@@ -22,45 +32,83 @@ type mode =
 
 type t = {
   mode : mode;
-  dyn_mod : (string, Location.Set.t) Hashtbl.t; (* per-function dynamic mod *)
+  dyn_mod : (string, float Location.Map.t) Hashtbl.t;
+      (* per-function dynamic mod: location -> per-invocation touch rate *)
 }
 
-(* Dynamic mod sets: which locations did each function's stores actually
-   touch (transitively), per the profile.  Fixpoint over the call graph. *)
+(* Dynamic mod rates: which locations did each function's stores actually
+   touch (transitively), per the profile, and how often per invocation.
+   Fixpoint over the call graph.  A function's own stores contribute
+   hits / entry-count (clamped to 1); callee maps propagate by point-wise
+   max — monotone and drawn from a finite value set, so the fixpoint
+   terminates even on recursive call graphs.  The support of the map (the
+   rate > 0 locations) is exactly the legacy dynamic mod *set*. *)
 let compute_dyn_mod (prog : Program.t) (profile : Alias_profile.t) =
   let tbl = Hashtbl.create 16 in
   let get name =
     match Hashtbl.find_opt tbl name with
-    | Some s -> s
-    | None -> Location.Set.empty
+    | Some m -> m
+    | None -> Location.Map.empty
+  in
+  let max_merge a b =
+    Location.Map.union (fun _ x y -> Some (Float.max x y)) a b
+  in
+  (* Per-function own-store hit totals, divided by training invocations. *)
+  let own f =
+    let fname = Func.name f in
+    let entries =
+      Alias_profile.block_count profile ~func:fname
+        ~label_id:(Label.id (Func.entry f))
+    in
+    let hits = ref Location.Map.empty in
+    let add loc h =
+      if h > 0 then
+        hits :=
+          Location.Map.update loc
+            (function Some n -> Some (n + h) | None -> Some h)
+            !hits
+    in
+    Func.iter_instrs
+      (fun _ ins ->
+        match ins with
+        | Instr.Store { addr; site; _ } -> (
+          match addr.Ops.base with
+          | Ops.Sym s ->
+            if Alias_profile.executed profile site then
+              add (Location.Sym s) (Alias_profile.count profile site)
+          | Ops.Reg _ ->
+            Location.Set.iter
+              (fun loc -> add loc (Alias_profile.touch_count profile site loc))
+              (Alias_profile.targets profile site))
+        | _ -> ())
+      f;
+    Location.Map.map
+      (fun h -> Float.min 1.0 (float_of_int h /. float_of_int (max 1 entries)))
+      !hits
+  in
+  let owns =
+    List.map (fun f -> (f, own f)) (Program.funcs prog)
   in
   let changed = ref true in
   while !changed do
     changed := false;
     List.iter
-      (fun f ->
+      (fun (f, own_rates) ->
         let fname = Func.name f in
-        let acc = ref (get fname) in
+        let acc = ref own_rates in
         Func.iter_instrs
           (fun _ ins ->
             match ins with
-            | Instr.Store { addr; site; _ } -> (
-              match addr.Ops.base with
-              | Ops.Sym s ->
-                if Alias_profile.executed profile site then
-                  acc := Location.Set.add (Location.Sym s) !acc
-              | Ops.Reg _ ->
-                acc := Location.Set.union (Alias_profile.targets profile site) !acc)
             | Instr.Call { callee; _ } ->
               if not (Program.is_builtin callee) then
-                acc := Location.Set.union (get callee) !acc
+                acc := max_merge !acc (get callee)
             | _ -> ())
           f;
-        if not (Location.Set.equal !acc (get fname)) then begin
+        if not (Location.Map.equal Float.equal !acc (get fname)) then begin
           Hashtbl.replace tbl fname !acc;
           changed := true
         end)
-      (Program.funcs prog)
+      owns
   done;
   tbl
 
@@ -72,25 +120,37 @@ let create (prog : Program.t) (mode : mode) : t =
   in
   { mode; dyn_mod }
 
-(* May the indirect access at [site] touch [loc], per the policy?  [n_targets]
-   is the size of the static points-to set (for the heuristic). *)
-let store_may_touch t ~site ~n_targets loc =
+(* Conflict probability of the indirect access at [site] against [loc]:
+   how likely is one execution of the site to touch it?  [n_targets] is
+   the size of the static points-to set (for the heuristic). *)
+let store_conflict_prob t ~site ~n_targets loc =
   match t.mode with
-  | Never -> true
-  | Heuristic -> n_targets <= 1
-  | Profile p -> Alias_profile.may_touch p site loc
+  | Never -> 1.0
+  | Heuristic -> if n_targets <= 1 then 1.0 else 0.0
+  | Profile p -> Alias_profile.conflict_rate p site loc
+
+(* Conflict probability of the call at [site] (to [callee]) against
+   [loc]: the callee's transitive per-invocation touch rate. *)
+let call_conflict_prob t ~callee ~site loc =
+  ignore site;
+  match t.mode with
+  | Never -> 1.0
+  | Heuristic -> 1.0 (* never speculate across calls without a profile *)
+  | Profile _ -> (
+    match Hashtbl.find_opt t.dyn_mod callee with
+    | Some m -> (
+      match Location.Map.find_opt loc m with Some r -> r | None -> 0.0)
+    | None -> 0.0 (* callee never ran under training input *)
+  )
+
+(* May the indirect access at [site] touch [loc], per the policy?  The
+   binary verdict: exactly [conflict probability > 0]. *)
+let store_may_touch t ~site ~n_targets loc =
+  store_conflict_prob t ~site ~n_targets loc > 0.0
 
 (* May the call at [site] (to [callee]) modify [loc]? *)
 let call_may_touch t ~callee ~site loc =
-  ignore site;
-  match t.mode with
-  | Never -> true
-  | Heuristic -> true (* never speculate across calls without a profile *)
-  | Profile _ -> (
-    match Hashtbl.find_opt t.dyn_mod callee with
-    | Some s -> Location.Set.mem loc s
-    | None -> false (* callee never ran under training input *)
-  )
+  call_conflict_prob t ~callee ~site loc > 0.0
 
 let is_profiled t = match t.mode with Profile _ -> true | Never | Heuristic -> false
 

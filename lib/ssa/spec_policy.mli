@@ -20,12 +20,25 @@ type t
 
 val create : Program.t -> mode -> t
 
-(** May the indirect store at [site] touch [loc]?  [n_targets] is the size
-    of its static points-to set (used by the heuristic).  [false] licenses
-    a chi_s. *)
+(** Conflict probability of the indirect store at [site] against [loc]:
+    the fraction of its training executions that touched it.  [n_targets]
+    is the size of its static points-to set (used by the heuristic, which
+    answers 0 or 1).  [Never] always answers 1. *)
+val store_conflict_prob :
+  t -> site:Site.t -> n_targets:int -> Srp_alias.Location.t -> float
+
+(** Conflict probability of the call at [site] to [callee] against [loc]:
+    the callee's transitive per-invocation touch rate under training. *)
+val call_conflict_prob :
+  t -> callee:string -> site:Site.t -> Srp_alias.Location.t -> float
+
+(** May the indirect store at [site] touch [loc]?  Exactly
+    [store_conflict_prob > 0], which preserves the legacy set-membership
+    verdict.  [false] licenses a chi_s. *)
 val store_may_touch : t -> site:Site.t -> n_targets:int -> Srp_alias.Location.t -> bool
 
-(** May the call at [site] to [callee] modify [loc]? *)
+(** May the call at [site] to [callee] modify [loc]?  Exactly
+    [call_conflict_prob > 0]. *)
 val call_may_touch : t -> callee:string -> site:Site.t -> Srp_alias.Location.t -> bool
 
 val is_profiled : t -> bool

@@ -217,4 +217,156 @@ void struct_free() { }
         (Alias_profile.block_count back ~func:"main" ~label_id:lid))
     (Srp_ir.Func.blocks f)
 
-let suite = suite @ [ Alcotest.test_case "profile save/load roundtrip" `Quick test_profile_roundtrip ]
+(* --- serialization properties and format pinning --- *)
+
+let no_symbols : (int, Srp_ir.Symbol.t) Hashtbl.t = Hashtbl.create 0
+
+(* Random profiles as operation scripts (record / record_block calls)
+   over heap locations, so loading needs no symbol table and the
+   property is self-contained. *)
+let arb_profile_ops =
+  let open QCheck.Gen in
+  let gen_op =
+    oneof
+      [ (let* site = int_range 0 9 in
+         let* heap = int_range 0 5 in
+         return (`Access (site, heap)));
+        (let* func = oneofl [ "main"; "f"; "g" ] in
+         let* label = int_range 0 7 in
+         return (`Block (func, label))) ]
+  in
+  let print_ops ops =
+    String.concat "; "
+      (List.map
+         (function
+           | `Access (s, h) -> Fmt.str "access s%d heap:%d" s h
+           | `Block (f, l) -> Fmt.str "block %s %d" f l)
+         ops)
+  in
+  QCheck.make ~print:print_ops (list_size (int_range 0 60) gen_op)
+
+let profile_of_ops ops =
+  let p = Alias_profile.create () in
+  List.iter
+    (function
+      | `Access (site, heap) -> Alias_profile.record p site (Location.Heap heap)
+      | `Block (func, label_id) -> Alias_profile.record_block p ~func ~label_id)
+    ops;
+  p
+
+(* save . load . save must be byte-identical: the text format is fully
+   sorted, so one pass through the parser cannot reorder or rewrite
+   anything.  This is what makes profiles usable as content-key inputs
+   in the staged pipeline. *)
+let prop_save_load_save =
+  QCheck.Test.make ~count:300 ~name:"save . load . save byte-identical"
+    arb_profile_ops (fun ops ->
+      let p = profile_of_ops ops in
+      let s1 = Alias_profile.save p in
+      let back = Alias_profile.load ~symbols:no_symbols s1 in
+      s1 = Alias_profile.save back)
+
+(* ... and the reloaded profile answers every query identically. *)
+let prop_load_preserves_queries =
+  QCheck.Test.make ~count:300 ~name:"load preserves counts/rates/blocks"
+    arb_profile_ops (fun ops ->
+      let p = profile_of_ops ops in
+      let back = Alias_profile.load ~symbols:no_symbols (Alias_profile.save p) in
+      List.for_all
+        (fun s ->
+          Alias_profile.count p s = Alias_profile.count back s
+          && Location.Set.equal (Alias_profile.targets p s)
+               (Alias_profile.targets back s)
+          && List.for_all
+               (fun h ->
+                 let l = Location.Heap h in
+                 Alias_profile.touch_count p s l
+                 = Alias_profile.touch_count back s l
+                 && Alias_profile.conflict_rate p s l
+                    = Alias_profile.conflict_rate back s l)
+               [ 0; 1; 2; 3; 4; 5 ])
+        (Alias_profile.sites p)
+      && List.for_all
+           (fun func ->
+             List.for_all
+               (fun label_id ->
+                 Alias_profile.block_count p ~func ~label_id
+                 = Alias_profile.block_count back ~func ~label_id)
+               [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+           [ "main"; "f"; "g" ])
+
+let test_v1_migration () =
+  (* headerless v1 text, bare kind:id targets: every recorded location is
+     read as conflicting on every execution, reproducing the binary
+     verdicts exactly *)
+  let text = "site 3 count 5 targets heap:1 heap:2\nsite 4 count 0 targets heap:7\n" in
+  let p = Alias_profile.load ~symbols:no_symbols text in
+  Alcotest.(check int) "v1 count" 5 (Alias_profile.count p 3);
+  Alcotest.(check int) "v1 hits = count" 5
+    (Alias_profile.touch_count p 3 (Location.Heap 1));
+  Alcotest.(check (float 0.0)) "v1 rate is 1" 1.0
+    (Alias_profile.conflict_rate p 3 (Location.Heap 2));
+  (* a v1 count-0 site with targets still answers may_touch (the legacy
+     set semantics) but is not executed (the pinned count semantics) *)
+  Alcotest.(check bool) "v1 count-0 target may_touch" true
+    (Alias_profile.may_touch p 4 (Location.Heap 7));
+  Alcotest.(check bool) "v1 count-0 not executed" false
+    (Alias_profile.executed p 4);
+  Alcotest.(check (float 0.0)) "v1 count-0 rate is 1" 1.0
+    (Alias_profile.conflict_rate p 4 (Location.Heap 7))
+
+let test_count0_site_not_executed () =
+  let text = "srp-profile-v2\nsite 9 count 0 targets\n" in
+  let p = Alias_profile.load ~symbols:no_symbols text in
+  Alcotest.(check bool) "count-0 site not executed" false
+    (Alias_profile.executed p 9);
+  Alcotest.(check bool) "count-0 site has no targets" true
+    (Location.Set.is_empty (Alias_profile.targets p 9));
+  (* the site line is still present, so reloading keeps it: sites lists it *)
+  Alcotest.(check (list int)) "site retained" [ 9 ]
+    (List.map Srp_ir.Site.to_int (Alias_profile.sites p))
+
+let check_parse_error name needle text =
+  match Alias_profile.load ~symbols:no_symbols text with
+  | _ -> Alcotest.failf "%s: expected Parse_error" name
+  | exception Alias_profile.Parse_error msg ->
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Fmt.str "%s: message %S names %S" name msg needle)
+      true (contains msg needle)
+
+let test_load_rejects_corruption () =
+  check_parse_error "duplicate site" "duplicate site"
+    "srp-profile-v2\nsite 1 count 2 targets heap:0=2\nsite 1 count 3 targets\n";
+  check_parse_error "duplicate block" "duplicate block"
+    "srp-profile-v2\nblock main 4 7\nblock main 4 9\n";
+  check_parse_error "duplicate target" "duplicate target"
+    "srp-profile-v2\nsite 1 count 2 targets heap:0=1 heap:0=1\n";
+  check_parse_error "bad site integer" "\"x\""
+    "srp-profile-v2\nsite x count 2 targets\n";
+  check_parse_error "bad count integer" "\"2z\""
+    "srp-profile-v2\nsite 1 count 2z targets\n";
+  check_parse_error "bad hits integer" "\"ten\""
+    "srp-profile-v2\nsite 1 count 2 targets heap:0=ten\n";
+  check_parse_error "bad block count" "\"seven\"" "block main 4 seven\n";
+  check_parse_error "unknown symbol" "unknown symbol"
+    "srp-profile-v2\nsite 1 count 2 targets sym:99=1\n";
+  check_parse_error "junk line" "bad line" "srp-profile-v2\nfrobnicate 3\n"
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "profile save/load roundtrip" `Quick
+        test_profile_roundtrip;
+      QCheck_alcotest.to_alcotest prop_save_load_save;
+      QCheck_alcotest.to_alcotest prop_load_preserves_queries;
+      Alcotest.test_case "v1 profile migration" `Quick test_v1_migration;
+      Alcotest.test_case "count-0 site not executed" `Quick
+        test_count0_site_not_executed;
+      Alcotest.test_case "load rejects corrupt profiles" `Quick
+        test_load_rejects_corruption ]

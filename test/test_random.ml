@@ -14,13 +14,16 @@ let interp_reference src =
   (code, out, profile)
 
 let machine_run ?(layout = true) ?(sched = true) ?(bundle = true)
-    ?(split = true) ?(pressure = false) src config =
+    ?(split = true) ?(pressure = false) ?(prob = true) src config =
   let prog = Srp_frontend.Lower.compile_source src in
   (match config with
   | Some c ->
     (* with the pressure axis on, feed the promoter the same regalloc
        estimate the driver pipeline injects; off means no callback — the
-       promoter's legacy ungated path, exactly `srp --no-pressure` *)
+       promoter's legacy ungated path, exactly `srp --no-pressure`.
+       prob off folds into the config like the pipeline's `--no-prob`:
+       the binary may-touch verdict, no expected-value debit *)
+    let c = { c with Config.prob = c.Config.prob && prob } in
     let est =
       if pressure then Some (Srp_driver.Pipeline.pressure_fn prog) else None
     in
@@ -34,10 +37,10 @@ let machine_run ?(layout = true) ?(sched = true) ?(bundle = true)
   let code, out, _ = Srp_machine.Machine.run_program ~fuel:50_000_000 tgt in
   (code, out)
 
-let check_level ?layout ?sched ?bundle ?split ?pressure src name expected
-    config =
+let check_level ?layout ?sched ?bundle ?split ?pressure ?prob src name
+    expected config =
   let code, out =
-    machine_run ?layout ?sched ?bundle ?split ?pressure src config
+    machine_run ?layout ?sched ?bundle ?split ?pressure ?prob src config
   in
   if out <> snd expected || code <> fst expected then
     Alcotest.failf "%s diverged!\n--- source ---\n%s\n--- expected ---\n%s--- got ---\n%s"
@@ -70,32 +73,39 @@ let run_seed seed =
   if out2 <> out then Alcotest.failf "conservative interp diverged for seed %d" seed
 
 (* every level crossed with the backend ablation axes:
-   {layout,sched,bundle,split,pressure} on/off.  Pressure-on runs the
-   gated promoter with the pipeline's regalloc estimate; pressure-off is
-   the legacy ungated path (`srp --no-pressure`).  Sched-on runs the
+   {layout,sched,bundle,split,pressure,prob} on/off.  Pressure-on runs
+   the gated promoter with the pipeline's regalloc estimate; pressure-off
+   is the legacy ungated path (`srp --no-pressure`).  Sched-on runs the
    pre-bundle list scheduler, which may only move cycle-family counters.
-   Both must agree with the interpreter bit for bit — the gate may
-   promote less, never compute differently.  The failure message carries
-   the reproducing seed. *)
+   Prob-on folds per-site conflict rates into the speculation gate;
+   prob-off is the binary may-touch verdict (`srp --no-prob`).  All must
+   agree with the interpreter bit for bit — a gate may promote less or
+   speculate differently, never compute differently.  The failure
+   message carries the reproducing seed. *)
 let default_combos =
-  [ (true, true, true, true, true); (true, true, false, true, true);
-    (false, true, true, true, true); (false, false, false, true, true);
-    (true, false, true, true, true); (true, true, true, false, true);
-    (false, false, false, false, true); (true, true, true, true, false);
-    (true, false, true, false, false); (false, false, false, false, false) ]
+  [ (true, true, true, true, true, true); (true, true, false, true, true, true);
+    (false, true, true, true, true, false);
+    (false, false, false, true, true, true);
+    (true, false, true, true, true, false);
+    (true, true, true, false, true, true);
+    (false, false, false, false, true, true);
+    (true, true, true, true, false, true);
+    (true, false, true, false, false, false);
+    (false, false, false, false, false, false) ]
 
 let run_seed_matrix ?(combos = default_combos) seed =
   let src = Gen_minic.program ~seed () in
   let code, out, profile = interp_reference src in
   let expected = (code, out) in
   List.iter
-    (fun (layout, sched, bundle, split, pressure) ->
+    (fun (layout, sched, bundle, split, pressure, prob) ->
       List.iter
         (fun (name, config) ->
-          check_level ~layout ~sched ~bundle ~split ~pressure src
+          check_level ~layout ~sched ~bundle ~split ~pressure ~prob src
             (Fmt.str
-               "seed %d %s (layout=%b sched=%b bundle=%b split=%b pressure=%b)"
-               seed name layout sched bundle split pressure)
+               "seed %d %s (layout=%b sched=%b bundle=%b split=%b \
+                pressure=%b prob=%b)"
+               seed name layout sched bundle split pressure prob)
             expected config)
         (level_configs profile))
     combos
@@ -115,9 +125,10 @@ let test_matrix_batch lo hi () =
    default test run, used by the non-blocking CI fuzz jobs and for local
    soak testing.  SRP_FUZZ_SPLIT=0 focuses the sweep on the
    closed-interval allocator (split off across every layout/bundle
-   combo) and SRP_FUZZ_SCHED=0 on the unscheduled stream (sched off
-   across the matrix), so the allocator paths and the scheduler ablation
-   each get their own CI soak. *)
+   combo), SRP_FUZZ_SCHED=0 on the unscheduled stream (sched off across
+   the matrix), and SRP_FUZZ_PROB=0 on the binary-verdict speculation
+   gate (prob off across the matrix), so the allocator paths, the
+   scheduler ablation, and the legacy gate each get their own CI soak. *)
 let fuzz_iters =
   match Sys.getenv_opt "SRP_FUZZ_ITERS" with
   | Some s -> ( try max 0 (int_of_string s) with _ -> 0)
@@ -125,17 +136,33 @@ let fuzz_iters =
 
 let fuzz_combos =
   match
-    ( Sys.getenv_opt "SRP_FUZZ_SPLIT", Sys.getenv_opt "SRP_FUZZ_SCHED" )
+    ( Sys.getenv_opt "SRP_FUZZ_SPLIT",
+      Sys.getenv_opt "SRP_FUZZ_SCHED",
+      Sys.getenv_opt "SRP_FUZZ_PROB" )
   with
-  | Some ("0" | "off" | "false"), _ ->
-    [ (true, true, true, false, true); (true, true, false, false, true);
-      (false, true, true, false, true); (false, false, false, false, true);
-      (true, true, true, false, false); (false, false, false, false, false) ]
-  | _, Some ("0" | "off" | "false") ->
-    [ (true, false, true, true, true); (true, false, false, true, true);
-      (false, false, true, true, true); (false, false, false, true, true);
-      (true, false, true, false, true); (true, false, true, true, false);
-      (false, false, false, false, false) ]
+  | Some ("0" | "off" | "false"), _, _ ->
+    [ (true, true, true, false, true, true);
+      (true, true, false, false, true, true);
+      (false, true, true, false, true, false);
+      (false, false, false, false, true, true);
+      (true, true, true, false, false, true);
+      (false, false, false, false, false, false) ]
+  | _, Some ("0" | "off" | "false"), _ ->
+    [ (true, false, true, true, true, true);
+      (true, false, false, true, true, true);
+      (false, false, true, true, true, false);
+      (false, false, false, true, true, true);
+      (true, false, true, false, true, true);
+      (true, false, true, true, false, false);
+      (false, false, false, false, false, false) ]
+  | _, _, Some ("0" | "off" | "false") ->
+    [ (true, true, true, true, true, false);
+      (true, true, false, true, true, false);
+      (false, true, true, true, true, false);
+      (false, false, false, true, true, false);
+      (true, true, true, false, true, false);
+      (true, true, true, true, false, false);
+      (false, false, false, false, false, false) ]
   | _ -> default_combos
 
 let test_fuzz_sweep () =

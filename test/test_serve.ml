@@ -265,11 +265,11 @@ let test_soak () =
         in
         let flag () = Srp_support.Rng.int rng 2 = 0 in
         ( i, Gen_minic.program ~seed (), level, flag (), flag (), flag (),
-          flag (), flag () ))
+          flag (), flag (), flag () ))
   in
   let batch =
     List.map
-      (fun (i, src, level, layout, sched, bundle, split, pressure) ->
+      (fun (i, src, level, layout, sched, bundle, split, pressure, prob) ->
         Json.to_string
           (Json.Obj
              [ ("id", Json.Int i);
@@ -279,13 +279,15 @@ let test_soak () =
                ("sched", Json.Bool sched);
                ("bundle", Json.Bool bundle);
                ("split", Json.Bool split);
-               ("pressure", Json.Bool pressure) ]))
+               ("pressure", Json.Bool pressure);
+               ("prob", Json.Bool prob) ]))
       descs
   in
   let responses, failed = serve_batch batch in
   Alcotest.(check int) "no failed soak jobs" 0 failed;
   List.iteri
-    (fun i (_, src, level, layout, sched, bundle, split, pressure) ->
+    (fun i (_, src, level, layout, sched, bundle, split, pressure, prob)
+    ->
       let r = List.nth responses i in
       let w =
         { Workload.name = Fmt.str "soak-%d" i; description = "soak";
@@ -293,7 +295,7 @@ let test_soak () =
       in
       let direct =
         Pipeline.profile_compile_run_monolithic ~layout ~sched ~bundle ~split
-          ~pressure w level
+          ~pressure ~prob w level
       in
       Alcotest.(check string)
         (Fmt.str "soak job %d output" i)

@@ -56,6 +56,25 @@ let test_differential name () =
       check_identical name level staged mono)
     levels
 
+(* The probability-gate differential: under --no-prob both paths must
+   take the exact legacy binary-verdict route, so staged = monolithic
+   bit for bit at every level; and at every level but Alat the gate is
+   inert (those configs carry no speculation probabilities), so prob
+   on/off must also be bit-identical to each other. *)
+let test_no_prob_differential name () =
+  let w = small name in
+  let cache = Stage.create () in
+  List.iter
+    (fun level ->
+      let off = Pipeline.profile_compile_run ~cache ~prob:false w level in
+      let mono = Pipeline.profile_compile_run_monolithic ~prob:false w level in
+      check_identical name level off mono;
+      if level <> Pipeline.Alat then
+        check_identical name level
+          (Pipeline.profile_compile_run ~cache w level)
+          off)
+    levels
+
 (* --- content-key soundness (QCheck) --- *)
 
 (* A job descriptor exercising every field the issue names: source,
@@ -72,6 +91,7 @@ type desc = {
   d_bundle : bool;
   d_split : bool;
   d_pressure : bool;
+  d_prob : bool;
   d_fuel : int option;
 }
 
@@ -93,6 +113,7 @@ let job_of_desc (d : desc) : Serve.job =
     j_bundle = d.d_bundle;
     j_split = d.d_split;
     j_pressure = d.d_pressure;
+    j_prob = d.d_prob;
     j_fuel = d.d_fuel }
 
 let gen_desc =
@@ -108,15 +129,17 @@ let gen_desc =
   let* d_bundle = bool in
   let* d_split = bool in
   let* d_pressure = bool in
+  let* d_prob = bool in
   let+ d_fuel = oneof [ return None; map (fun n -> Some (n + 1)) (int_bound 3) ] in
   { d_source; d_input; d_level; d_ablations; d_layout; d_sched; d_bundle;
-    d_split; d_pressure; d_fuel }
+    d_split; d_pressure; d_prob; d_fuel }
 
 let print_desc d =
-  Fmt.str "{src=%d;in=%d;lvl=%d;abl=%a;l=%b;sc=%b;b=%b;s=%b;p=%b;fuel=%a}"
+  Fmt.str "{src=%d;in=%d;lvl=%d;abl=%a;l=%b;sc=%b;b=%b;s=%b;p=%b;pr=%b;fuel=%a}"
     d.d_source d.d_input d.d_level
     Fmt.(list ~sep:comma bool)
     d.d_ablations d.d_layout d.d_sched d.d_bundle d.d_split d.d_pressure
+    d.d_prob
     Fmt.(option int)
     d.d_fuel
 
@@ -161,7 +184,13 @@ let test_stage_keys () =
               { Srp_core.Config.baseline with Srp_core.Config.lat_l1 = 3 };
               { Srp_core.Config.baseline with Srp_core.Config.lat_fp = 12 };
               { Srp_core.Config.baseline with Srp_core.Config.spill_cost = 6 };
-              { Srp_core.Config.baseline with Srp_core.Config.estimator = 3 }
+              { Srp_core.Config.baseline with Srp_core.Config.estimator = 3 };
+              (* the probabilistic-gate knobs likewise *)
+              { Srp_core.Config.baseline with Srp_core.Config.prob = false };
+              { Srp_core.Config.baseline with
+                Srp_core.Config.spec_threshold = 0.25 };
+              { Srp_core.Config.baseline with
+                Srp_core.Config.recovery_penalty = 7 }
             ]));
   let pk = Stage.Key.promote ~applied_key:ak ~config:"none" in
   let sk = Stage.Key.select ~promote_key:pk in
@@ -297,6 +326,11 @@ let suite =
       Alcotest.test_case (name ^ " staged = monolithic") `Slow
         (test_differential name))
     kernels
+  @ List.map
+      (fun name ->
+        Alcotest.test_case (name ^ " --no-prob legacy path") `Slow
+          (test_no_prob_differential name))
+      kernels
   @ [ QCheck_alcotest.to_alcotest key_soundness;
       Alcotest.test_case "stage keys invalidate per input" `Quick
         test_stage_keys;
